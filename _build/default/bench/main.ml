@@ -1,0 +1,325 @@
+(* Bechamel micro-benchmarks — one Test.make per experiment (E1..E10, F5),
+   each isolating the single-operation cost at the heart of that
+   experiment's claim. The multi-domain sweeps that regenerate the full
+   tables live in bin/experiments.ml (wall-clock measurement is the right
+   tool there); these benches pin down the per-op costs with linear
+   regression.
+
+   Run:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Gist_core
+module B = Gist_ams.Btree_ext
+module R = Gist_ams.Rtree_ext
+module I = Gist_ams.Interval_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+module Xoshiro = Gist_util.Xoshiro
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 16; pool_capacity = 8192; page_size = 2048 }
+
+(* One static B-tree with 20k keys shared by read-only benches. *)
+let static_db, static_tree =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for k = 0 to 19_999 do
+    Gist.insert t txn ~key:(B.key k) ~rid:(rid k)
+  done;
+  Txn.commit db.Db.txns txn;
+  (db, t)
+
+(* A tree with 30% committed-deleted marks for the E7 scan bench. *)
+let marked_db, marked_tree =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for k = 0 to 19_999 do
+    Gist.insert t txn ~key:(B.key k) ~rid:(rid k)
+  done;
+  Txn.commit db.Db.txns txn;
+  let txn = Txn.begin_txn db.Db.txns in
+  for k = 0 to 5_999 do
+    ignore (Gist.delete t txn ~key:(B.key k) ~rid:(rid k))
+  done;
+  Txn.commit db.Db.txns txn;
+  (db, t)
+
+(* Static R-tree for E3. *)
+let rdb, rtree =
+  let db = Db.create ~config () in
+  let t = Gist.create db R.ext ~empty_bp:R.Empty () in
+  let rng = Xoshiro.create 7 in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 0 to 9_999 do
+    let x = Xoshiro.float rng 1000.0 and y = Xoshiro.float rng 1000.0 in
+    Gist.insert t txn ~key:(R.point x y) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  (db, t)
+
+let bench_rng = Xoshiro.create 99
+
+(* E1: the cost of the link protocol itself on reads — NSN comparisons and
+   (absent splits) zero extra hops. *)
+let e1_read_nolink =
+  Test.make ~name:"e1/read-nolink"
+    (Staged.stage @@ fun () ->
+     let lo = Xoshiro.int bench_rng 19_000 in
+     ignore (Gist_baseline.Nolink.search static_tree (B.range lo (lo + 20))))
+
+let e1_read_link =
+  Test.make ~name:"e1/read-link"
+    (Staged.stage @@ fun () ->
+     let lo = Xoshiro.int bench_rng 19_000 in
+     ignore (Gist_baseline.Nolink.search_with_links static_tree (B.range lo (lo + 20))))
+
+(* E2: full transactional operation costs on the B-tree (Figure 3/4 code
+   paths, including WAL, locks and predicates). *)
+let e2_txn_search =
+  Test.make ~name:"e2/txn-search-width10"
+    (Staged.stage @@ fun () ->
+     let txn = Txn.begin_txn static_db.Db.txns in
+     let lo = Xoshiro.int bench_rng 19_000 in
+     ignore (Gist.search static_tree txn (B.range lo (lo + 10)));
+     Txn.commit static_db.Db.txns txn)
+
+let e2_insert_counter = ref 1_000_000
+
+let e2_txn_insert =
+  Test.make ~name:"e2/txn-insert"
+    (Staged.stage @@ fun () ->
+     incr e2_insert_counter;
+     let k = !e2_insert_counter in
+     let txn = Txn.begin_txn static_db.Db.txns in
+     Gist.insert static_tree txn ~key:(B.key k) ~rid:(rid k);
+     Txn.commit static_db.Db.txns txn)
+
+let e2_txn_delete_insert =
+  (* Delete + reinsert the same key: steady-state mixed op. *)
+  Test.make ~name:"e2/txn-delete+insert"
+    (Staged.stage @@ fun () ->
+     let k = 5_000 + Xoshiro.int bench_rng 1000 in
+     let txn = Txn.begin_txn static_db.Db.txns in
+     if Gist.delete static_tree txn ~key:(B.key k) ~rid:(rid k) then
+       Gist.insert static_tree txn ~key:(B.key k) ~rid:(rid k);
+     Txn.commit static_db.Db.txns txn)
+
+(* E3: R-tree window query (non-linear key space). *)
+let e3_window_query =
+  Test.make ~name:"e3/rtree-window-query"
+    (Staged.stage @@ fun () ->
+     let txn = Txn.begin_txn rdb.Db.txns in
+     let x = Xoshiro.float bench_rng 980.0 and y = Xoshiro.float bench_rng 980.0 in
+     ignore (Gist.search rtree txn (R.rect x y (x +. 20.0) (y +. 20.0)));
+     Txn.commit rdb.Db.txns txn)
+
+(* E4: conflict-check cost, hybrid (leaf attachments) vs pure (global
+   list), with 256 active scan predicates. *)
+let e4_setup =
+  lazy
+    (let pure = Gist_baseline.Pure_predicate.create () in
+     let pm = Gist.predicate_manager static_tree in
+     let txns =
+       List.init 256 (fun i ->
+           let txn = Txn.begin_txn static_db.Db.txns in
+           let q = B.range (i * 70) ((i * 70) + 10) in
+           ignore (Gist.search static_tree txn q);
+           Gist_baseline.Pure_predicate.register pure ~owner:(Txn.id txn) q;
+           txn)
+     in
+     ignore txns;
+     (pure, pm))
+
+(* The leaf an insert of key 19_999 targets (min-penalty descent). *)
+let e4_target_leaf =
+  lazy
+    (let rec descend pid =
+       Gist_storage.Buffer_pool.with_page static_db.Db.pool pid Gist_storage.Latch.S
+         (fun frame ->
+           let node = Node.read B.ext frame in
+           if Node.is_leaf node then `Leaf pid
+           else
+             `Child
+               (Gist_util.Dyn.fold
+                  (fun best e ->
+                    match best with Some _ -> best | None -> Some e.Node.ie_child)
+                  None (Node.internal_entries node)
+               |> Option.get))
+       |> function
+       | `Leaf p -> p
+       | `Child c -> descend c
+     in
+     descend (Gist.root static_tree))
+
+let e4_hybrid_check =
+  Test.make ~name:"e4/hybrid-check-256preds"
+    (Staged.stage @@ fun () ->
+     let _, pm = Lazy.force e4_setup in
+     let leaf = Lazy.force e4_target_leaf in
+     (* What the insert's step 6 does: filter the target leaf's list. *)
+     ignore
+       (List.filter
+          (fun p -> B.ext.Ext.consistent (B.key 19_999) (Gist_pred.Predicate_manager.formula p))
+          (Gist_pred.Predicate_manager.attached pm leaf)))
+
+let e4_pure_check =
+  Test.make ~name:"e4/pure-check-256preds"
+    (Staged.stage @@ fun () ->
+     let pure, _ = Lazy.force e4_setup in
+     ignore
+       (Gist_baseline.Pure_predicate.conflicting pure ~consistent:B.ext.Ext.consistent
+          ~key:(B.key 19_999) ~exclude:Gist_util.Txn_id.none))
+
+(* E6/T1: log record encode+append and full-catalog decode costs. *)
+let e6_log_append =
+  let log = Gist_wal.Log_manager.create () in
+  Test.make ~name:"e6/log-append"
+    (Staged.stage @@ fun () ->
+     ignore
+       (Gist_wal.Log_manager.append log ~txn:(Gist_util.Txn_id.of_int 1) ~prev:0L
+          (Gist_wal.Log_record.Add_leaf_entry
+             {
+               page = Gist_storage.Page_id.of_int 7;
+               nsn = 42L;
+               entry = "0123456789abcdef";
+               rid = rid 1;
+             })))
+
+(* E7: the price of not-yet-collected marks. Both scans return ZERO
+   results; the marked one wades through ~400 physical marked entries to
+   find that out, the other through an equally-empty but mark-free range.
+   Their difference is the pure overhead GC reclaims. *)
+let e7_scan_with_marks =
+  Test.make ~name:"e7/scan-0-results-over-400-marks"
+    (Staged.stage @@ fun () ->
+     let txn = Txn.begin_txn marked_db.Db.txns in
+     let lo = Xoshiro.int bench_rng 55 * 100 in
+     ignore (Gist.search marked_tree txn (B.range lo (lo + 399)));
+     Txn.commit marked_db.Db.txns txn)
+
+let e7_scan_clean =
+  Test.make ~name:"e7/scan-0-results-clean-range"
+    (Staged.stage @@ fun () ->
+     let txn = Txn.begin_txn static_db.Db.txns in
+     (* Beyond every stored key: same tree shape, no qualifying entries
+        and no marks on the way. *)
+     let lo = 40_000 + (Xoshiro.int bench_rng 55 * 100) in
+     ignore (Gist.search static_tree txn (B.range lo (lo + 399)));
+     Txn.commit static_db.Db.txns txn)
+
+(* E8: the NSN/memo sources of §10.1. [last_lsn] here is an atomic mirror
+   (cheap); [durable_lsn] stands in for a log manager whose counter read
+   must synchronize — the design §10.1 warns becomes a bottleneck. *)
+let e8_global_counter_read =
+  Test.make ~name:"e8/nsn-read-log-lsn-atomic"
+    (Staged.stage @@ fun () -> ignore (Gist_wal.Log_manager.last_lsn static_db.Db.log))
+
+let e8_synchronized_counter_read =
+  Test.make ~name:"e8/nsn-read-log-mutex"
+    (Staged.stage @@ fun () -> ignore (Gist_wal.Log_manager.durable_lsn static_db.Db.log))
+
+let e8_parent_lsn_read =
+  Test.make ~name:"e8/nsn-read-parent-lsn"
+    (Staged.stage @@ fun () ->
+     Gist_storage.Buffer_pool.with_page static_db.Db.pool (Gist.root static_tree)
+       Gist_storage.Latch.S (fun frame -> ignore (Gist_storage.Buffer_pool.page_lsn frame)))
+
+(* E9: the signaling-lock acquire/release pair every traversal hop pays. *)
+let e9_signaling_lock_pair =
+  let tid = Gist_util.Txn_id.of_int 424242 in
+  Test.make ~name:"e9/signaling-lock-pair"
+    (Staged.stage @@ fun () ->
+     Gist_txn.Lock_manager.lock static_db.Db.locks tid
+       (Gist_txn.Lock_manager.Node (Gist_storage.Page_id.of_int 12345))
+       Gist_txn.Lock_manager.S;
+     Gist_txn.Lock_manager.unlock static_db.Db.locks tid
+       (Gist_txn.Lock_manager.Node (Gist_storage.Page_id.of_int 12345)))
+
+(* E10: the unique-insert probe (duplicate hit). *)
+let e10_unique_db, e10_unique_tree =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~unique:true ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for k = 0 to 9_999 do
+    Gist.insert t txn ~key:(B.key k) ~rid:(rid k)
+  done;
+  Txn.commit db.Db.txns txn;
+  (db, t)
+
+let e10_duplicate_probe =
+  Test.make ~name:"e10/unique-duplicate-probe"
+    (Staged.stage @@ fun () ->
+     let txn = Txn.begin_txn e10_unique_db.Db.txns in
+     let k = Xoshiro.int bench_rng 10_000 in
+     (try Gist.insert e10_unique_tree txn ~key:(B.key k) ~rid:(rid (k + 500_000))
+      with Gist.Duplicate_key -> ());
+     Txn.commit e10_unique_db.Db.txns txn)
+
+(* F5 / node layout: page image encode+decode round trip. *)
+let f5_node_codec =
+  let node = Node.make_leaf ~id:(Gist_storage.Page_id.of_int 1) ~bp:(B.range 0 100) in
+  let () =
+    for i = 0 to 15 do
+      Node.add_leaf_entry node
+        { Node.le_key = B.key i; le_rid = rid i; le_deleter = Gist_util.Txn_id.none }
+    done
+  in
+  let disk = Gist_storage.Disk.create ~page_size:2048 () in
+  let pool = Gist_storage.Buffer_pool.create ~capacity:8 ~disk ~force_log:(fun _ -> ()) in
+  let frame = Gist_storage.Buffer_pool.pin_new pool (Gist_storage.Page_id.of_int 1) in
+  Test.make ~name:"f5/node-encode+decode-16entries"
+    (Staged.stage @@ fun () ->
+     Node.write B.ext node frame;
+     ignore (Node.read B.ext frame))
+
+let tests =
+  Test.make_grouped ~name:"gist" ~fmt:"%s %s"
+    [
+      e1_read_nolink;
+      e1_read_link;
+      e2_txn_search;
+      e2_txn_insert;
+      e2_txn_delete_insert;
+      e3_window_query;
+      e4_hybrid_check;
+      e4_pure_check;
+      e6_log_append;
+      e7_scan_with_marks;
+      e7_scan_clean;
+      e8_global_counter_read;
+      e8_synchronized_counter_read;
+      e8_parent_lsn_read;
+      e9_signaling_lock_pair;
+      e10_duplicate_probe;
+      f5_node_codec;
+    ]
+
+let () =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] |> List.sort compare in
+  Printf.printf "%-40s %14s %10s\n" "benchmark" "ns/op" "r^2";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun name ->
+      let ols_result = Hashtbl.find results name in
+      let est =
+        match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> Float.nan
+      in
+      let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> Float.nan in
+      Printf.printf "%-40s %14.1f %10.4f\n" name est r2)
+    names;
+  print_newline ();
+  print_endline
+    "Shapes to check (details in EXPERIMENTS.md): link read ~ nolink read (E1:\n\
+     the protocol is latch-free overhead); pure-check >> hybrid-check (E4);\n\
+     scan-with-marks > clean scan (E7); parent-LSN read avoids the log\n\
+     manager's synchronization (E8)."

@@ -1,0 +1,200 @@
+(* gist_shell — an interactive (or piped) shell over the transactional
+   B-tree GiST, exposing the paper's machinery end to end: transactions,
+   savepoints, logical deletion, vacuum, checkpoints, crash + ARIES
+   restart, and the invariant checker.
+
+   Run:   dune exec bin/shell.exe
+   Pipe:  printf 'insert 1\ninsert 2\nsearch 0 10\nquit\n' | dune exec bin/shell.exe
+*)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+module Log = Gist_wal.Log_manager
+module Buffer_pool = Gist_storage.Buffer_pool
+
+type session = {
+  mutable db : Db.t;
+  mutable tree : B.t Gist.t;
+  mutable txn : Txn.txn option; (* explicit transaction, if one is open *)
+  mutable autocommit_count : int;
+}
+
+let help () =
+  print_string
+    {|commands:
+  insert <k>          insert key k (RID derived from k)
+  delete <k>          logically delete key k
+  search <lo> <hi>    range scan [lo, hi]
+  count               number of live keys
+  begin               open an explicit transaction
+  commit / abort      end the explicit transaction
+  savepoint <name>    set a savepoint in the open transaction
+  rollback <name>     partial rollback to a savepoint
+  vacuum              garbage-collect marks, retire empty nodes
+  checkpoint          fuzzy checkpoint (bounds restart cost)
+  flush               flush all dirty pages (background writer)
+  crash               lose volatile state + unforced log tail, then restart
+  stats               pool/log/lock/tree statistics
+  check               run the tree invariant checker
+  help                this text
+  quit                exit
+|}
+
+let with_txn s f =
+  match s.txn with
+  | Some txn -> f txn
+  | None ->
+    (* Autocommit: wrap the single operation. *)
+    let txn = Txn.begin_txn s.db.Db.txns in
+    (match f txn with
+    | () -> Txn.commit s.db.Db.txns txn
+    | exception e ->
+      Txn.abort s.db.Db.txns txn;
+      raise e);
+    s.autocommit_count <- s.autocommit_count + 1
+
+let cmd_stats s =
+  let db = s.db in
+  Printf.printf "tree   : height %d, %d leaves, %d physical entries\n" (Gist.height s.tree)
+    (Gist.leaf_count s.tree) (Gist.entry_count s.tree);
+  Printf.printf "pool   : %d hits, %d misses, %d evictions, %d I/Os under latches\n"
+    (Buffer_pool.hits db.Db.pool) (Buffer_pool.misses db.Db.pool)
+    (Buffer_pool.evictions db.Db.pool)
+    (Buffer_pool.io_while_latched db.Db.pool);
+  Printf.printf "log    : %d records (%d bytes), durable to %Ld, %d forces\n"
+    (Log.appended db.Db.log) (Log.bytes_written db.Db.log) (Log.durable_lsn db.Db.log)
+    (Log.forces db.Db.log);
+  Printf.printf "locks  : %d waits, %d deadlocks\n"
+    (Gist_txn.Lock_manager.blocked_count db.Db.locks)
+    (Gist_txn.Lock_manager.deadlock_count db.Db.locks);
+  Printf.printf "preds  : %d live predicates, %d attachments\n"
+    (Gist_pred.Predicate_manager.total_predicates (Gist.predicate_manager s.tree))
+    (Gist_pred.Predicate_manager.total_attachments (Gist.predicate_manager s.tree));
+  let st = Gist.stats s.tree in
+  Printf.printf
+    "ops    : %d searches, %d inserts, %d deletes; %d splits, %d root grows,\n\
+    \         %d BP updates, %d rightlink follows, %d GC'd entries,\n\
+    \         %d node deletes, %d predicate blocks\n"
+    st.Gist.searches st.Gist.inserts st.Gist.deletes st.Gist.splits st.Gist.root_grows
+    st.Gist.bp_updates st.Gist.rightlink_follows st.Gist.gc_entries st.Gist.node_deletes
+    st.Gist.pred_blocks
+
+let dispatch s line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | [] -> ()
+  | [ "help" ] -> help ()
+  | [ "insert"; k ] ->
+    let k = int_of_string k in
+    with_txn s (fun txn -> Gist.insert s.tree txn ~key:(B.key k) ~rid:(Rid.make ~page:1 ~slot:k));
+    Printf.printf "inserted %d\n" k
+  | [ "delete"; k ] ->
+    let k = int_of_string k in
+    let found = ref false in
+    with_txn s (fun txn ->
+        found := Gist.delete s.tree txn ~key:(B.key k) ~rid:(Rid.make ~page:1 ~slot:k));
+    Printf.printf "%s\n" (if !found then "deleted (logically)" else "not found")
+  | [ "search"; lo; hi ] ->
+    let lo = int_of_string lo and hi = int_of_string hi in
+    let out = ref [] in
+    with_txn s (fun txn ->
+        out :=
+          Gist.search s.tree txn (B.range lo hi)
+          |> List.map (fun (k, _) -> B.key_value k)
+          |> List.sort compare);
+    Printf.printf "[%s] (%d keys)\n"
+      (String.concat " " (List.map string_of_int !out))
+      (List.length !out)
+  | [ "count" ] ->
+    let n = ref 0 in
+    with_txn s (fun txn ->
+        n := List.length (Gist.search s.tree txn (B.range min_int max_int)));
+    Printf.printf "%d live keys\n" !n
+  | [ "begin" ] -> (
+    match s.txn with
+    | Some _ -> print_endline "a transaction is already open"
+    | None ->
+      s.txn <- Some (Txn.begin_txn s.db.Db.txns);
+      print_endline "transaction open")
+  | [ "commit" ] -> (
+    match s.txn with
+    | None -> print_endline "no open transaction"
+    | Some txn ->
+      Txn.commit s.db.Db.txns txn;
+      s.txn <- None;
+      print_endline "committed")
+  | [ "abort" ] -> (
+    match s.txn with
+    | None -> print_endline "no open transaction"
+    | Some txn ->
+      Txn.abort s.db.Db.txns txn;
+      s.txn <- None;
+      print_endline "aborted (rolled back via the log)")
+  | [ "savepoint"; name ] -> (
+    match s.txn with
+    | None -> print_endline "savepoints need an open transaction"
+    | Some txn ->
+      Txn.savepoint s.db.Db.txns txn name;
+      Printf.printf "savepoint %s set\n" name)
+  | [ "rollback"; name ] -> (
+    match s.txn with
+    | None -> print_endline "no open transaction"
+    | Some txn -> (
+      match Txn.rollback_to_savepoint s.db.Db.txns txn name with
+      | () -> Printf.printf "rolled back to %s\n" name
+      | exception Not_found -> Printf.printf "unknown savepoint %s\n" name))
+  | [ "vacuum" ] ->
+    let before = Gist.entry_count s.tree in
+    Gist.vacuum s.tree;
+    Printf.printf "vacuum: %d -> %d physical entries, %d leaves\n" before
+      (Gist.entry_count s.tree) (Gist.leaf_count s.tree)
+  | [ "checkpoint" ] ->
+    Db.checkpoint s.db;
+    Printf.printf "checkpoint at LSN %Ld\n" (Log.anchor s.db.Db.log)
+  | [ "flush" ] ->
+    Buffer_pool.flush_all s.db.Db.pool;
+    print_endline "all dirty pages flushed"
+  | [ "crash" ] ->
+    (match s.txn with
+    | Some _ ->
+      s.txn <- None;
+      print_endline "(open transaction lost in the crash — it will be a loser)"
+    | None -> ());
+    let root = Gist.root s.tree in
+    let db' = Db.crash s.db in
+    let t0 = Gist_util.Clock.now_ns () in
+    Recovery.restart db' B.ext;
+    s.db <- db';
+    s.tree <- Gist.open_existing db' B.ext ~root ();
+    Printf.printf "crashed and restarted in %.2f ms\n" (Gist_util.Clock.elapsed_s t0 *. 1000.0)
+  | [ "stats" ] -> cmd_stats s
+  | [ "check" ] ->
+    let report = Tree_check.check s.tree in
+    Format.printf "%a@." Tree_check.pp report
+  | [ "quit" ] | [ "exit" ] -> raise Exit
+  | words -> Printf.printf "unknown command %S (try 'help')\n" (String.concat " " words)
+
+let () =
+  let db = Db.create () in
+  let tree = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let s = { db; tree; txn = None; autocommit_count = 0 } in
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then begin
+    print_endline "gist_shell — a transactional, recoverable B-tree GiST (type 'help')";
+    print_string "> "
+  end;
+  (try
+     while true do
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line ->
+         (try dispatch s line with
+         | Exit -> raise Exit
+         | Gist_txn.Lock_manager.Deadlock _ -> print_endline "deadlock: operation aborted"
+         | Failure m | Invalid_argument m -> Printf.printf "error: %s\n" m);
+         if interactive then print_string "> "
+     done
+   with Exit -> ());
+  (match s.txn with Some txn -> Txn.abort s.db.Db.txns txn | None -> ());
+  if interactive then print_endline "bye"

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Db Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal List Printf Recovery Tree_check

@@ -1,0 +1,1 @@
+examples/multi_index.ml: Array Db Ext Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal List Printf Recovery Tree_check

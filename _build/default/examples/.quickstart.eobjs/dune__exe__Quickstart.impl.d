@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db Format Gist Gist_ams Gist_core Gist_storage Gist_txn List Printf String Tree_check

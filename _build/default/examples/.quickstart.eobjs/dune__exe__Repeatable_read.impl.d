@@ -1,0 +1,1 @@
+examples/repeatable_read.ml: Atomic Db Domain Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util List Printf Thread

@@ -1,0 +1,1 @@
+examples/repeatable_read.mli:

@@ -1,0 +1,1 @@
+examples/spatial_search.ml: Atomic Db Domain Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util List Printf Thread Tree_check

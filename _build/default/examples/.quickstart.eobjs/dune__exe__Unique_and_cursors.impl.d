@@ -1,0 +1,1 @@
+examples/unique_and_cursors.ml: Array Cursor Db Domain Format Gist Gist_ams Gist_core Gist_storage Gist_txn Printf Tree_check

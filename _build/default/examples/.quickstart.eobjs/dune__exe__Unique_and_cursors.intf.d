@@ -1,0 +1,1 @@
+examples/unique_and_cursors.mli:

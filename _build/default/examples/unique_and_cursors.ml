@@ -1,0 +1,89 @@
+(* Unique indices (§8) and savepoint-aware cursors (§10.2).
+
+   An account-number index must reject duplicates — repeatably — while an
+   auditing cursor walks the table incrementally, surviving a partial
+   rollback of its own transaction.
+
+   Run:  dune exec examples/unique_and_cursors.exe *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+
+let rid i = Rid.make ~page:1 ~slot:i
+
+let () =
+  let db = Db.create () in
+  (* A UNIQUE index over account numbers. *)
+  let accounts = Gist.create db B.ext ~unique:true ~empty_bp:B.Empty () in
+
+  let txn = Txn.begin_txn db.Db.txns in
+  for acct = 1000 to 1099 do
+    Gist.insert accounts txn ~key:(B.key acct) ~rid:(rid acct)
+  done;
+  Txn.commit db.Db.txns txn;
+  print_endline "opened 100 accounts (1000-1099)";
+
+  (* Duplicate rejection, and its repeatability under repeatable read. *)
+  let txn = Txn.begin_txn db.Db.txns in
+  (try Gist.insert accounts txn ~key:(B.key 1042) ~rid:(rid 9042)
+   with Gist.Duplicate_key -> print_endline "account 1042 already exists (rejected)");
+  (try Gist.insert accounts txn ~key:(B.key 1042) ~rid:(rid 9042)
+   with Gist.Duplicate_key ->
+     print_endline "…and the error repeats within the transaction (S lock on the duplicate)");
+  Txn.commit db.Db.txns txn;
+
+  (* Two tellers race to open the same new account: §8 resolves via the
+     probe predicates — exactly one wins. *)
+  let outcome = Array.make 2 "?" in
+  let teller i =
+    Domain.spawn (fun () ->
+        let rec attempt tries =
+          if tries > 10 then ()
+          else
+            let txn = Txn.begin_txn db.Db.txns in
+            match Gist.insert accounts txn ~key:(B.key 2000) ~rid:(rid (9000 + i)) with
+            | () ->
+              Txn.commit db.Db.txns txn;
+              outcome.(i) <- "opened it"
+            | exception Gist.Duplicate_key ->
+              Txn.commit db.Db.txns txn;
+              outcome.(i) <- "saw the duplicate"
+            | exception Gist_txn.Lock_manager.Deadlock _ ->
+              Txn.abort db.Db.txns txn;
+              attempt (tries + 1)
+        in
+        attempt 0)
+  in
+  let d0 = teller 0 and d1 = teller 1 in
+  Domain.join d0;
+  Domain.join d1;
+  Printf.printf "race for account 2000: teller A %s, teller B %s\n" outcome.(0) outcome.(1);
+
+  (* An audit cursor walks the accounts incrementally. Mid-audit, the same
+     transaction makes a correction, reconsiders, and rolls back to a
+     savepoint — the cursor resumes from its saved position. *)
+  let audit = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ accounts audit (B.range 1000 3000) in
+  let seen = ref 0 in
+  for _ = 1 to 40 do
+    match Cursor.next cursor with Some _ -> incr seen | None -> ()
+  done;
+  Printf.printf "audited %d accounts, taking a savepoint…\n" !seen;
+  Txn.savepoint db.Db.txns audit "mid-audit";
+  let snap = Cursor.save cursor in
+  (* Correction attempt... *)
+  (try Gist.insert accounts audit ~key:(B.key 2100) ~rid:(rid 2100) with _ -> ());
+  (* ...abandoned. *)
+  Txn.rollback_to_savepoint db.Db.txns audit "mid-audit";
+  Cursor.restore cursor snap;
+  let rec drain n = match Cursor.next cursor with Some _ -> drain (n + 1) | None -> n in
+  let rest = drain 0 in
+  Printf.printf "resumed after rollback: %d more accounts; total %d (expected 101)\n" rest
+    (!seen + rest);
+  Cursor.close cursor;
+  Txn.commit db.Db.txns audit;
+
+  let report = Tree_check.check accounts in
+  Format.printf "%a@." Tree_check.pp report

@@ -1,0 +1,1 @@
+lib/ams/btree_ext.mli: Gist_core

@@ -1,0 +1,1 @@
+lib/ams/interval_ext.mli: Gist_core

@@ -1,0 +1,1 @@
+lib/ams/rd_tree_ext.mli: Gist_core

@@ -1,0 +1,1 @@
+lib/ams/rtree_ext.ml: Array Codec Float Format Gist_core Gist_util List Printf

@@ -1,0 +1,1 @@
+lib/ams/rtree_ext.mli: Gist_core

@@ -1,0 +1,86 @@
+open Gist_util
+module Ext = Gist_core.Ext
+
+type t = Empty | Range of { lo : int; hi : int }
+
+let key k = Range { lo = k; hi = k }
+
+let range a b = if a <= b then Range { lo = a; hi = b } else Range { lo = b; hi = a }
+
+let key_value = function
+  | Range { lo; hi } when lo = hi -> lo
+  | _ -> invalid_arg "Btree_ext.key_value: not a point"
+
+let consistent q p =
+  match (q, p) with
+  | Empty, _ | _, Empty -> false
+  | Range a, Range b -> a.lo <= b.hi && b.lo <= a.hi
+
+let union ps =
+  List.fold_left
+    (fun acc p ->
+      match (acc, p) with
+      | Empty, p -> p
+      | p, Empty -> p
+      | Range a, Range b -> Range { lo = min a.lo b.lo; hi = max a.hi b.hi })
+    Empty ps
+
+let width = function Empty -> 0 | Range { lo; hi } -> hi - lo
+
+let penalty bp key =
+  match (bp, key) with
+  | Empty, _ -> 0.0
+  | _, Empty -> 0.0
+  | _ -> Float.of_int (width (union [ bp; key ]) - width bp)
+
+let lower = function Empty -> min_int | Range { lo; _ } -> lo
+
+(* Ordered split: sort by lower bound, send the upper half right. This is
+   what makes the GiST behave exactly like a B-tree. *)
+let pick_split ps =
+  let n = Array.length ps in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (lower ps.(i)) (lower ps.(j))) order;
+  let assignment = Array.make n false in
+  Array.iteri (fun rank idx -> if rank >= n / 2 then assignment.(idx) <- true) order;
+  assignment
+
+let matches_exact a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Range a, Range b -> a.lo = b.lo && a.hi = b.hi
+  | _ -> false
+
+let encode b = function
+  | Empty -> Codec.put_u8 b 0
+  | Range { lo; hi } ->
+    Codec.put_u8 b 1;
+    Codec.put_int b lo;
+    Codec.put_int b hi
+
+let decode r =
+  match Codec.get_u8 r with
+  | 0 -> Empty
+  | 1 ->
+    let lo = Codec.get_int r in
+    let hi = Codec.get_int r in
+    Range { lo; hi }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "Btree_ext: bad tag %d" n))
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Range { lo; hi } ->
+    if lo = hi then Format.fprintf ppf "[%d]" lo else Format.fprintf ppf "[%d,%d]" lo hi
+
+let ext =
+  {
+    Ext.name = "btree";
+    consistent;
+    union;
+    penalty;
+    pick_split;
+    matches_exact;
+    encode;
+    decode;
+    pp;
+  }

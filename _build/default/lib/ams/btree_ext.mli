@@ -1,0 +1,23 @@
+(** B-tree as a GiST extension ([HNP95] §4.1).
+
+    Predicates are closed integer ranges; a key is the degenerate range
+    [\[k, k\]]. [consistent] is range overlap, [union] the convex hull,
+    [penalty] the hull growth, and [pick_split] sorts by lower bound and
+    splits in the middle — which reproduces classic B-tree behavior
+    (ordered, partitioned leaves) inside the unordered GiST framework.
+
+    [Empty] is the bounding predicate of an empty (sub)tree: consistent
+    with nothing, identity of [union]. *)
+
+type t = Empty | Range of { lo : int; hi : int }
+
+val key : int -> t
+(** The key predicate [\[k, k\]]. *)
+
+val range : int -> int -> t
+(** [range lo hi] (inclusive); normalized so [lo <= hi]. *)
+
+val key_value : t -> int
+(** @raise Invalid_argument if not a point. *)
+
+val ext : t Gist_core.Ext.t

@@ -1,0 +1,73 @@
+open Gist_util
+module Ext = Gist_core.Ext
+
+type t = Empty | Iv of { lo : float; hi : float }
+
+let iv a b = Iv { lo = Float.min a b; hi = Float.max a b }
+
+let stab x = Iv { lo = x; hi = x }
+
+let consistent q p =
+  match (q, p) with
+  | Empty, _ | _, Empty -> false
+  | Iv a, Iv b -> a.lo <= b.hi && b.lo <= a.hi
+
+let union2 a b =
+  match (a, b) with
+  | Empty, p | p, Empty -> p
+  | Iv a, Iv b -> Iv { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let union ps = List.fold_left union2 Empty ps
+
+let width = function Empty -> 0.0 | Iv { lo; hi } -> hi -. lo
+
+let penalty bp key = width (union2 bp key) -. width bp
+
+let mid = function Empty -> 0.0 | Iv { lo; hi } -> (lo +. hi) /. 2.0
+
+let pick_split ps =
+  let n = Array.length ps in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (mid ps.(i)) (mid ps.(j))) order;
+  let assignment = Array.make n false in
+  Array.iteri (fun rank idx -> if rank >= n / 2 then assignment.(idx) <- true) order;
+  assignment
+
+let matches_exact a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Iv a, Iv b -> a.lo = b.lo && a.hi = b.hi
+  | _ -> false
+
+let encode b = function
+  | Empty -> Codec.put_u8 b 0
+  | Iv { lo; hi } ->
+    Codec.put_u8 b 1;
+    Codec.put_float b lo;
+    Codec.put_float b hi
+
+let decode r =
+  match Codec.get_u8 r with
+  | 0 -> Empty
+  | 1 ->
+    let lo = Codec.get_float r in
+    let hi = Codec.get_float r in
+    Iv { lo; hi }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "Interval_ext: bad tag %d" n))
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Iv { lo; hi } -> Format.fprintf ppf "[%g,%g]" lo hi
+
+let ext =
+  {
+    Ext.name = "interval";
+    consistent;
+    union;
+    penalty;
+    pick_split;
+    matches_exact;
+    encode;
+    decode;
+    pp;
+  }

@@ -1,0 +1,15 @@
+(** 1-D interval tree as a GiST extension.
+
+    Keys are float intervals (e.g. temporal validity periods); queries are
+    stabbing points or windows. Unlike the B-tree extension, stored keys
+    themselves overlap — so even the leaf level has overlapping predicates,
+    exercising the multi-path search behavior that distinguishes GiSTs
+    from B-trees. Splits sort by midpoint. *)
+
+type t = Empty | Iv of { lo : float; hi : float }
+
+val iv : float -> float -> t
+val stab : float -> t
+(** Point query [\[x, x\]]. *)
+
+val ext : t Gist_core.Ext.t

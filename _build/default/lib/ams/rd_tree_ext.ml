@@ -1,0 +1,152 @@
+open Gist_util
+module Ext = Gist_core.Ext
+
+type t = Empty | Set of int array
+
+let set elems = match List.sort_uniq compare elems with [] -> Empty | l -> Set (Array.of_list l)
+
+let elements = function Empty -> [] | Set a -> Array.to_list a
+
+let cardinal = function Empty -> 0 | Set a -> Array.length a
+
+(* Linear merge over sorted arrays. *)
+let overlaps a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> false
+  | Set a, Set b ->
+    let rec loop i j =
+      i < Array.length a && j < Array.length b
+      &&
+      if a.(i) = b.(j) then true else if a.(i) < b.(j) then loop (i + 1) j else loop i (j + 1)
+    in
+    loop 0 0
+
+let subset ~sub ~super =
+  match (sub, super) with
+  | Empty, _ -> true
+  | _, Empty -> false
+  | Set a, Set b ->
+    let rec loop i j =
+      if i >= Array.length a then true
+      else if j >= Array.length b then false
+      else if a.(i) = b.(j) then loop (i + 1) (j + 1)
+      else if a.(i) > b.(j) then loop i (j + 1)
+      else false
+    in
+    loop 0 0
+
+let union2 a b =
+  match (a, b) with
+  | Empty, s | s, Empty -> s
+  | Set a, Set b ->
+    let out = Array.make (Array.length a + Array.length b) 0 in
+    let rec merge i j k =
+      if i >= Array.length a && j >= Array.length b then k
+      else if j >= Array.length b || (i < Array.length a && a.(i) < b.(j)) then begin
+        out.(k) <- a.(i);
+        merge (i + 1) j (k + 1)
+      end
+      else if i >= Array.length a || b.(j) < a.(i) then begin
+        out.(k) <- b.(j);
+        merge i (j + 1) (k + 1)
+      end
+      else begin
+        out.(k) <- a.(i);
+        merge (i + 1) (j + 1) (k + 1)
+      end
+    in
+    let k = merge 0 0 0 in
+    Set (Array.sub out 0 k)
+
+let union ps = List.fold_left union2 Empty ps
+
+let consistent = overlaps
+
+let inter_count a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> 0
+  | Set a, Set b ->
+    let rec loop i j n =
+      if i >= Array.length a || j >= Array.length b then n
+      else if a.(i) = b.(j) then loop (i + 1) (j + 1) (n + 1)
+      else if a.(i) < b.(j) then loop (i + 1) j n
+      else loop i (j + 1) n
+    in
+    loop 0 0 0
+
+let penalty bp key = Float.of_int (cardinal (union2 bp key) - cardinal bp)
+
+(* Jaccard distance between two sets; 1.0 for disjoint. *)
+let distance a b =
+  let inter = inter_count a b in
+  let uni = cardinal a + cardinal b - inter in
+  if uni = 0 then 0.0 else 1.0 -. (Float.of_int inter /. Float.of_int uni)
+
+let pick_split ps =
+  let n = Array.length ps in
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = distance ps.(i) ps.(j) in
+      if d > !worst then begin
+        worst := d;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let assignment = Array.make n false in
+  assignment.(!seed_b) <- true;
+  let grp_a = ref ps.(!seed_a) and grp_b = ref ps.(!seed_b) in
+  for i = 0 to n - 1 do
+    if i <> !seed_a && i <> !seed_b then begin
+      let grow_a = penalty !grp_a ps.(i) and grow_b = penalty !grp_b ps.(i) in
+      if grow_b < grow_a then begin
+        assignment.(i) <- true;
+        grp_b := union2 !grp_b ps.(i)
+      end
+      else grp_a := union2 !grp_a ps.(i)
+    end
+  done;
+  assignment
+
+let matches_exact a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Set a, Set b -> a = b
+  | _ -> false
+
+let encode b = function
+  | Empty -> Codec.put_u8 b 0
+  | Set a ->
+    Codec.put_u8 b 1;
+    Codec.put_i32 b (Array.length a);
+    Array.iter (Codec.put_i32 b) a
+
+let decode r =
+  match Codec.get_u8 r with
+  | 0 -> Empty
+  | 1 ->
+    let n = Codec.get_i32 r in
+    if n < 0 then raise (Codec.Corrupt "Rd_tree_ext: negative set size");
+    Set (Array.init n (fun _ -> Codec.get_i32 r))
+  | n -> raise (Codec.Corrupt (Printf.sprintf "Rd_tree_ext: bad tag %d" n))
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "{}"
+  | Set a ->
+    Format.fprintf ppf "{%s}"
+      (String.concat "," (Array.to_list (Array.map string_of_int a)))
+
+let ext =
+  {
+    Ext.name = "rd-tree";
+    consistent;
+    union;
+    penalty;
+    pick_split;
+    matches_exact;
+    encode;
+    decode;
+    pp;
+  }

@@ -1,0 +1,27 @@
+(** RD-tree ("Russian Doll" tree) as a GiST extension.
+
+    Keys are finite sets of integers (e.g. keyword ids of a document);
+    bounding predicates are set unions, so each ancestor's BP is a superset
+    of everything below — the "russian doll" nesting. Queries are sets too,
+    with overlap semantics: [consistent q p] iff [q ∩ p ≠ ∅].
+
+    This is the canonical *non-spatial, non-ordered* GiST instantiation:
+    there is no geometry and no sort order to exploit, so every piece of
+    concurrency machinery must come from the kernel — which is the point.
+
+    [penalty] is the number of elements the BP must absorb; [pick_split]
+    seeds the two groups with the pair of most-dissimilar sets (by Jaccard
+    distance) and assigns the rest by least growth. *)
+
+type t = Empty | Set of int array  (** Sorted, duplicate-free. *)
+
+val set : int list -> t
+(** Build a key from an element list (sorted and deduplicated here). *)
+
+val elements : t -> int list
+
+val overlaps : t -> t -> bool
+val subset : sub:t -> super:t -> bool
+val cardinal : t -> int
+
+val ext : t Gist_core.Ext.t

@@ -1,0 +1,150 @@
+open Gist_util
+module Ext = Gist_core.Ext
+
+type t = Empty | Rect of { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let rect a b c d =
+  Rect { x0 = Float.min a c; y0 = Float.min b d; x1 = Float.max a c; y1 = Float.max b d }
+
+let point x y = Rect { x0 = x; y0 = y; x1 = x; y1 = y }
+
+let area = function Empty -> 0.0 | Rect r -> (r.x1 -. r.x0) *. (r.y1 -. r.y0)
+
+let overlaps a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> false
+  | Rect a, Rect b -> a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+let contains ~outer ~inner =
+  match (outer, inner) with
+  | _, Empty -> true
+  | Empty, _ -> false
+  | Rect o, Rect i -> o.x0 <= i.x0 && o.y0 <= i.y0 && i.x1 <= o.x1 && i.y1 <= o.y1
+
+let union2 a b =
+  match (a, b) with
+  | Empty, p | p, Empty -> p
+  | Rect a, Rect b ->
+    Rect
+      {
+        x0 = Float.min a.x0 b.x0;
+        y0 = Float.min a.y0 b.y0;
+        x1 = Float.max a.x1 b.x1;
+        y1 = Float.max a.y1 b.y1;
+      }
+
+let union ps = List.fold_left union2 Empty ps
+
+let consistent = overlaps
+
+let penalty bp key = area (union2 bp key) -. area bp
+
+(* Guttman's quadratic split: pick the two rectangles that would waste the
+   most area together as seeds, then assign each remaining entry to the
+   group whose bounding box grows least. *)
+let pick_split ps =
+  let n = Array.length ps in
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dead = area (union2 ps.(i) ps.(j)) -. area ps.(i) -. area ps.(j) in
+      if dead > !worst then begin
+        worst := dead;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let assignment = Array.make n false in
+  assignment.(!seed_b) <- true;
+  let box_a = ref ps.(!seed_a) and box_b = ref ps.(!seed_b) in
+  let count_a = ref 1 and count_b = ref 1 in
+  for i = 0 to n - 1 do
+    if i <> !seed_a && i <> !seed_b then begin
+      let grow_a = area (union2 !box_a ps.(i)) -. area !box_a in
+      let grow_b = area (union2 !box_b ps.(i)) -. area !box_b in
+      (* Keep both sides non-empty even for pathological inputs. *)
+      let to_b =
+        if !count_a + (n - i) <= 1 then false
+        else if !count_b + (n - i) <= 1 then true
+        else if grow_b < grow_a then true
+        else if grow_a < grow_b then false
+        else area !box_b < area !box_a
+      in
+      if to_b then begin
+        assignment.(i) <- true;
+        box_b := union2 !box_b ps.(i);
+        incr count_b
+      end
+      else begin
+        box_a := union2 !box_a ps.(i);
+        incr count_a
+      end
+    end
+  done;
+  assignment
+
+let matches_exact a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Rect a, Rect b -> a.x0 = b.x0 && a.y0 = b.y0 && a.x1 = b.x1 && a.y1 = b.y1
+  | _ -> false
+
+let encode b = function
+  | Empty -> Codec.put_u8 b 0
+  | Rect r ->
+    Codec.put_u8 b 1;
+    Codec.put_float b r.x0;
+    Codec.put_float b r.y0;
+    Codec.put_float b r.x1;
+    Codec.put_float b r.y1
+
+let decode r =
+  match Codec.get_u8 r with
+  | 0 -> Empty
+  | 1 ->
+    let x0 = Codec.get_float r in
+    let y0 = Codec.get_float r in
+    let x1 = Codec.get_float r in
+    let y1 = Codec.get_float r in
+    Rect { x0; y0; x1; y1 }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "Rtree_ext: bad tag %d" n))
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Rect r -> Format.fprintf ppf "[%g,%g;%g,%g]" r.x0 r.y0 r.x1 r.y1
+
+let center = function
+  | Empty -> (0.0, 0.0)
+  | Rect r -> ((r.x0 +. r.x1) /. 2.0, (r.y0 +. r.y1) /. 2.0)
+
+let str_sort ~per_node entries =
+  let n = Array.length entries in
+  if n > 1 && per_node > 0 then begin
+    let cx (r, _) = fst (center r) and cy (r, _) = snd (center r) in
+    Array.sort (fun a b -> compare (cx a) (cx b)) entries;
+    let leaves = (n + per_node - 1) / per_node in
+    let slabs = int_of_float (Float.ceil (Float.sqrt (Float.of_int leaves))) in
+    let slab_size = max per_node ((n + slabs - 1) / slabs) in
+    let i = ref 0 in
+    while !i < n do
+      let len = min slab_size (n - !i) in
+      let slab = Array.sub entries !i len in
+      Array.sort (fun a b -> compare (cy a) (cy b)) slab;
+      Array.blit slab 0 entries !i len;
+      i := !i + len
+    done
+  end
+
+let ext =
+  {
+    Ext.name = "rtree";
+    consistent;
+    union;
+    penalty;
+    pick_split;
+    matches_exact;
+    encode;
+    decode;
+    pp;
+  }

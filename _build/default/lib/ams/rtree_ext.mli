@@ -1,0 +1,34 @@
+(** R-tree as a GiST extension ([Gut84] via [HNP95] §4.2).
+
+    Predicates are axis-aligned rectangles with float coordinates;
+    [consistent] is rectangle overlap, [union] the bounding box, [penalty]
+    the area enlargement, and [pick_split] Guttman's quadratic algorithm
+    (seed pair maximizing dead area, then least-enlargement assignment with
+    a minimum fill of one — adequate for a concurrency/recovery study).
+
+    This is the canonical *non-linear, non-partitioning* key space the
+    paper's protocol exists for: ranges overlap, nothing is ordered, and
+    key-range locking is impossible. *)
+
+type t = Empty | Rect of { x0 : float; y0 : float; x1 : float; y1 : float }
+
+val rect : float -> float -> float -> float -> t
+(** [rect x0 y0 x1 y1], normalized so [x0 <= x1] and [y0 <= y1]. *)
+
+val point : float -> float -> t
+
+val area : t -> float
+
+val overlaps : t -> t -> bool
+
+val contains : outer:t -> inner:t -> bool
+
+val ext : t Gist_core.Ext.t
+
+val str_sort : per_node:int -> (t * 'a) array -> unit
+(** In-place Sort-Tile-Recursive ordering (Leutenegger et al.) for
+    {!Gist_core.Gist.bulk_load}: entries are sliced into vertical runs of
+    ~[per_node]·√(n/[per_node]) by center x, each run sorted by center y —
+    consecutive entries then pack into spatially tight leaves. *)
+
+val center : t -> float * float

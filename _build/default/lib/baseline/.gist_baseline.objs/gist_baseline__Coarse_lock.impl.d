@@ -1,0 +1,1 @@
+lib/baseline/coarse_lock.ml: Gist_core Gist_storage

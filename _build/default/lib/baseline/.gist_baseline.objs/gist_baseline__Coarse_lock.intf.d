@@ -1,0 +1,1 @@
+lib/baseline/coarse_lock.mli: Gist_core Gist_storage Gist_txn

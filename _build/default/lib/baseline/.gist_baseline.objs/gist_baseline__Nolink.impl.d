@@ -1,0 +1,1 @@
+lib/baseline/nolink.ml: Codec Dyn Gist_core Gist_storage Gist_util Gist_wal Hashtbl List Txn_id

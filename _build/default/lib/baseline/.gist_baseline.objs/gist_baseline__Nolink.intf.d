@@ -1,0 +1,1 @@
+lib/baseline/nolink.mli: Gist_core Gist_storage

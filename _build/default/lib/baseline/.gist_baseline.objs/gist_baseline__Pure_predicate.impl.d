@@ -1,0 +1,1 @@
+lib/baseline/pure_predicate.ml: Gist_util List Mutex Txn_id

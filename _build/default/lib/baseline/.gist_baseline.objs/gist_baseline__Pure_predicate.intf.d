@@ -1,0 +1,1 @@
+lib/baseline/pure_predicate.mli: Gist_util

@@ -1,0 +1,16 @@
+module Latch = Gist_storage.Latch
+module Gist = Gist_core.Gist
+
+type 'p t = { tree : 'p Gist.t; global : Latch.t }
+
+let wrap tree = { tree; global = Latch.create () }
+
+let tree t = t.tree
+
+let search t txn q = Latch.with_latch t.global Latch.S (fun () -> Gist.search t.tree txn q)
+
+let insert t txn ~key ~rid =
+  Latch.with_latch t.global Latch.X (fun () -> Gist.insert t.tree txn ~key ~rid)
+
+let delete t txn ~key ~rid =
+  Latch.with_latch t.global Latch.X (fun () -> Gist.delete t.tree txn ~key ~rid)

@@ -1,0 +1,22 @@
+(** Coarse (tree-global) locking baseline for experiment E2.
+
+    The degenerate subtree-locking protocol of [BS77] with the subtree
+    fixed at the root: every search takes a tree-wide S latch and every
+    update a tree-wide X latch for the whole operation — including all its
+    I/Os. Correct and simple, but with zero intra-tree concurrency; the
+    link protocol's scaling claim (C1) is measured against this. *)
+
+type 'p t
+
+val wrap : 'p Gist_core.Gist.t -> 'p t
+(** Same underlying tree; operations additionally serialize on a global
+    reader-writer latch. *)
+
+val tree : 'p t -> 'p Gist_core.Gist.t
+
+val search :
+  'p t -> Gist_txn.Txn_manager.txn -> 'p -> ('p * Gist_storage.Rid.t) list
+
+val insert : 'p t -> Gist_txn.Txn_manager.txn -> key:'p -> rid:Gist_storage.Rid.t -> unit
+
+val delete : 'p t -> Gist_txn.Txn_manager.txn -> key:'p -> rid:Gist_storage.Rid.t -> bool

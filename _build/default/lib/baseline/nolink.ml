@@ -1,0 +1,51 @@
+open Gist_util
+module Gist = Gist_core.Gist
+module Node = Gist_core.Node
+module Db = Gist_core.Db
+module Buffer_pool = Gist_storage.Buffer_pool
+module Latch = Gist_storage.Latch
+
+let search_generic ~links t query =
+  let ext = Gist.ext t in
+  let db = Gist.db t in
+  let seen = Hashtbl.create 64 in
+  let results = ref [] in
+  let stack = ref [ (Gist.root t, Db.global_nsn db) ] in
+  while !stack <> [] do
+    let pid, memo = List.hd !stack in
+    stack := List.tl !stack;
+    Buffer_pool.with_page db.Db.pool pid Latch.S (fun frame ->
+        match Node.read ext frame with
+        | exception Codec.Corrupt _ -> () (* page was retired underneath us *)
+        | node ->
+          if
+            links
+            && Gist_wal.Lsn.( < ) memo node.Node.nsn
+            && Gist_storage.Page_id.is_valid node.Node.rightlink
+          then stack := (node.Node.rightlink, memo) :: !stack;
+          if Node.is_leaf node then
+            Dyn.iter
+              (fun e ->
+                if
+                  ext.Gist_core.Ext.consistent query e.Node.le_key
+                  && (not (Txn_id.is_some e.Node.le_deleter))
+                  && not (Hashtbl.mem seen e.Node.le_rid)
+                then begin
+                  Hashtbl.replace seen e.Node.le_rid ();
+                  results := (e.Node.le_key, e.Node.le_rid) :: !results
+                end)
+              (Node.leaf_entries node)
+          else begin
+            let child_memo = Buffer_pool.page_lsn frame in
+            Dyn.iter
+              (fun e ->
+                if ext.Gist_core.Ext.consistent query e.Node.ie_bp then
+                  stack := (e.Node.ie_child, child_memo) :: !stack)
+              (Node.internal_entries node)
+          end)
+  done;
+  !results
+
+let search t query = search_generic ~links:false t query
+
+let search_with_links t query = search_generic ~links:true t query

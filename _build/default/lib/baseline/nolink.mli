@@ -1,0 +1,16 @@
+(** Figure-1 strawman: traversal without split compensation.
+
+    A read-only search over the same physical tree that ignores NSNs and
+    never follows rightlinks — exactly the naive interleaving of Figure 1.
+    Under concurrent splits it silently loses keys that moved to new right
+    siblings between reading the parent and visiting the child. Takes no
+    locks and attaches no predicates: it exists purely to demonstrate (and
+    count, in experiment E1) what the paper's protocol prevents. *)
+
+val search : 'p Gist_core.Gist.t -> 'p -> ('p * Gist_storage.Rid.t) list
+(** Dirty-read traversal with per-node S latches but no link protocol. *)
+
+val search_with_links : 'p Gist_core.Gist.t -> 'p -> ('p * Gist_storage.Rid.t) list
+(** The same dirty-read traversal *with* NSN/rightlink split compensation —
+    isolating exactly the link mechanism for the E1 comparison (no locks,
+    no predicates, in either variant). *)

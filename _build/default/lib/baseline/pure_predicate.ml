@@ -1,0 +1,35 @@
+open Gist_util
+
+type 'p entry = { owner : Txn_id.t; formula : 'p }
+
+type 'p t = { mutex : Mutex.t; mutable preds : 'p entry list }
+
+let create () = { mutex = Mutex.create (); preds = [] }
+
+let register t ~owner formula =
+  Mutex.lock t.mutex;
+  t.preds <- { owner; formula } :: t.preds;
+  Mutex.unlock t.mutex
+
+let conflicting t ~consistent ~key ~exclude =
+  Mutex.lock t.mutex;
+  let owners =
+    List.filter_map
+      (fun e ->
+        if (not (Txn_id.equal e.owner exclude)) && consistent key e.formula then Some e.owner
+        else None)
+      t.preds
+  in
+  Mutex.unlock t.mutex;
+  owners
+
+let remove_txn t owner =
+  Mutex.lock t.mutex;
+  t.preds <- List.filter (fun e -> not (Txn_id.equal e.owner owner)) t.preds;
+  Mutex.unlock t.mutex
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = List.length t.preds in
+  Mutex.unlock t.mutex;
+  n

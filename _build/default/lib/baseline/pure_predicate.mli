@@ -1,0 +1,34 @@
+(** Pure predicate locking baseline (§4.2, experiment E4).
+
+    The mechanism the paper's hybrid improves on: every search registers
+    its predicate in a single tree-global table before touching the index,
+    and every insert/delete checks its key against the *entire* global
+    list. The two §4.2 drawbacks are directly measurable:
+
+    - a conflict check walks the whole table instead of one leaf's
+      attachment list (O(all predicates) vs O(attached-at-leaf));
+    - the whole search range is locked up-front, before any leaf is
+      visited.
+
+    This module provides the global table plus the check operation, so
+    the benchmark can compare check costs against the hybrid predicate
+    manager on identical predicate populations. *)
+
+type 'p t
+
+val create : unit -> 'p t
+
+val register :
+  'p t -> owner:Gist_util.Txn_id.t -> 'p -> unit
+(** Add a search predicate to the global table (search start). *)
+
+val conflicting :
+  'p t -> consistent:('p -> 'p -> bool) -> key:'p -> exclude:Gist_util.Txn_id.t ->
+  Gist_util.Txn_id.t list
+(** Owners of every registered predicate consistent with [key] — the check
+    an insert performs before proceeding. *)
+
+val remove_txn : 'p t -> Gist_util.Txn_id.t -> unit
+(** Drop a transaction's predicates (end of transaction). *)
+
+val size : 'p t -> int

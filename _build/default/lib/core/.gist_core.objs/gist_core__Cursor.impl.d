@@ -1,0 +1,1 @@
+lib/core/cursor.ml: Codec Db Dyn Ext Gist Gist_pred Gist_storage Gist_txn Gist_util Gist_wal Hashtbl List Node Option Txn_id

@@ -1,0 +1,1 @@
+lib/core/cursor.mli: Gist Gist_storage Gist_txn

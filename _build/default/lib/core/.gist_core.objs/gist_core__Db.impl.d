@@ -1,0 +1,1 @@
+lib/core/db.ml: Atomic Buffer Bytes Codec Ext Gist_storage Gist_txn Gist_util Gist_wal Hashtbl Int64 List Mutex Txn_id

@@ -1,0 +1,1 @@
+lib/core/db.mli: Atomic Ext Gist_storage Gist_txn Gist_wal Hashtbl Mutex

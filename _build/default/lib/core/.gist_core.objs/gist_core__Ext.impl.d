@@ -1,0 +1,1 @@
+lib/core/ext.ml: Array Buffer Bytes Format Gist_util Logs

@@ -1,0 +1,1 @@
+lib/core/ext.mli: Buffer Format Gist_util

@@ -1,0 +1,1 @@
+lib/core/gist.ml: Array Atomic Bytes Codec Db Dyn Ext Float Format Gist_pred Gist_storage Gist_txn Gist_util Gist_wal Hashtbl List Node Option Printf Recovery String Txn_id

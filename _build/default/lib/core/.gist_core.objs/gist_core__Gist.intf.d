@@ -1,0 +1,1 @@
+lib/core/gist.mli: Db Ext Gist_pred Gist_storage Gist_txn

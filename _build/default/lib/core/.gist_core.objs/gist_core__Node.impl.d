@@ -1,0 +1,1 @@
+lib/core/node.ml: Buffer Bytes Codec Dyn Ext Format Gist_storage Gist_util Gist_wal Printf Txn_id

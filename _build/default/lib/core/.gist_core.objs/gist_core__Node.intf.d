@@ -1,0 +1,1 @@
+lib/core/node.mli: Ext Format Gist_storage Gist_util Gist_wal

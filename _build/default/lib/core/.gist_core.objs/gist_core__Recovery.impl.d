@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Bytes Db Ext Gist_storage Gist_txn Gist_util Gist_wal Hashtbl Int64 List Logs Node Printf Txn_id

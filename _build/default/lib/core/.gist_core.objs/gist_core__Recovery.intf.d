@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Db Ext Gist_txn Gist_wal

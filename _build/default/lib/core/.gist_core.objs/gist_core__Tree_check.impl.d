@@ -1,0 +1,1 @@
+lib/core/tree_check.ml: Codec Db Dyn Ext Format Gist Gist_storage Gist_util Gist_wal Hashtbl List Node

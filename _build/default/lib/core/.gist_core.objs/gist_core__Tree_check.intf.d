@@ -1,0 +1,1 @@
+lib/core/tree_check.mli: Format Gist

@@ -1,0 +1,260 @@
+open Gist_util
+module Page_id = Gist_storage.Page_id
+module Rid = Gist_storage.Rid
+module Buffer_pool = Gist_storage.Buffer_pool
+module Latch = Gist_storage.Latch
+module Lsn = Gist_wal.Lsn
+module Lock_manager = Gist_txn.Lock_manager
+module Txn_manager = Gist_txn.Txn_manager
+module Pm = Gist_pred.Predicate_manager
+
+type 'p pending = { p_key : 'p; p_rid : Rid.t; p_leaf : Page_id.t }
+
+type 'p t = {
+  tree : 'p Gist.t;
+  tid : Txn_id.t;
+  query : 'p;
+  spred : 'p Pm.pred;
+  mutable stack : (Page_id.t * Lsn.t) list;
+  mutable buffered : 'p pending list;
+  mutable seen : (Rid.t, unit) Hashtbl.t;
+  sig_counts : (int, int) Hashtbl.t; (* page -> hold count *)
+  leaf_pending : (int, int) Hashtbl.t; (* page -> unconsumed buffered entries *)
+  mutable pinned : bool;
+  mutable closed : bool;
+}
+
+type 'p snapshot = {
+  s_stack : (Page_id.t * Lsn.t) list;
+  s_buffered : 'p pending list;
+  s_seen : (Rid.t, unit) Hashtbl.t;
+}
+
+let db c = Gist.db c.tree
+
+let ext c = Gist.ext c.tree
+
+let locks c = (db c).Db.locks
+
+let sig_acquire c pid =
+  Lock_manager.lock (locks c) c.tid (Lock_manager.Node pid) Lock_manager.S;
+  let k = Page_id.to_int pid in
+  Hashtbl.replace c.sig_counts k (1 + Option.value ~default:0 (Hashtbl.find_opt c.sig_counts k))
+
+(* Signaling locks are released as their stack entries are consumed —
+   unless a snapshot pinned them (§10.2: locks existing at a savepoint must
+   not be released later). *)
+let sig_release c pid =
+  if not c.pinned then begin
+    let k = Page_id.to_int pid in
+    match Hashtbl.find_opt c.sig_counts k with
+    | Some n when n > 0 ->
+      Hashtbl.replace c.sig_counts k (n - 1);
+      Lock_manager.unlock (locks c) c.tid (Lock_manager.Node pid)
+    | _ -> ()
+  end
+
+let open_ tree txn query =
+  let tid = Txn_manager.id txn in
+  let spred = Pm.register (Gist.predicate_manager tree) ~owner:tid ~kind:Pm.Scan query in
+  let c =
+    {
+      tree;
+      tid;
+      query;
+      spred;
+      stack = [];
+      buffered = [];
+      seen = Hashtbl.create 32;
+      sig_counts = Hashtbl.create 32;
+      leaf_pending = Hashtbl.create 8;
+      pinned = false;
+      closed = false;
+    }
+  in
+  sig_acquire c (Gist.root tree);
+  c.stack <- [ (Gist.root tree, Db.global_nsn (Gist.db tree)) ];
+  c
+
+(* Visit the next stack node: push consistent children (or the rightlink of
+   a missed split), buffer qualifying leaf entries. Mirrors Figure 3. *)
+let advance c =
+  match c.stack with
+  | [] -> ()
+  | (pid, memo) :: rest ->
+    c.stack <- rest;
+    let fresh = ref [] in
+    Buffer_pool.with_page (db c).Db.pool pid Latch.S (fun frame ->
+        match Node.read (ext c) frame with
+        | exception Codec.Corrupt _ -> () (* retired page; nothing here *)
+        | node ->
+          if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+            sig_acquire c node.Node.rightlink;
+            c.stack <- (node.Node.rightlink, memo) :: c.stack
+          end;
+          Pm.attach (Gist.predicate_manager c.tree) c.spred pid;
+          if Node.is_leaf node then
+            Dyn.iter
+              (fun e ->
+                if
+                  (ext c).Ext.consistent c.query e.Node.le_key
+                  && not (Hashtbl.mem c.seen e.Node.le_rid)
+                then fresh := { p_key = e.Node.le_key; p_rid = e.Node.le_rid; p_leaf = pid } :: !fresh)
+              (Node.leaf_entries node)
+          else begin
+            let child_memo =
+              match (db c).Db.config.Db.memo_source with
+              | Db.Memo_parent_lsn -> Buffer_pool.page_lsn frame
+              | Db.Memo_global -> Db.global_nsn (db c)
+            in
+            Dyn.iter
+              (fun e ->
+                if (ext c).Ext.consistent c.query e.Node.ie_bp then begin
+                  sig_acquire c e.Node.ie_child;
+                  c.stack <- (e.Node.ie_child, child_memo) :: c.stack
+                end)
+              (Node.internal_entries node)
+          end);
+    (match !fresh with
+    | [] -> sig_release c pid
+    | entries ->
+      (* Keep the leaf's signaling lock until its buffered entries are
+         consumed, so the rightlink chain the revalidation may need cannot
+         be broken by node deletion. *)
+      Hashtbl.replace c.leaf_pending (Page_id.to_int pid) (List.length entries);
+      c.buffered <- List.rev_append entries c.buffered)
+
+let consume_leaf_slot c pid =
+  let k = Page_id.to_int pid in
+  match Hashtbl.find_opt c.leaf_pending k with
+  | Some 1 ->
+    Hashtbl.remove c.leaf_pending k;
+    sig_release c pid
+  | Some n -> Hashtbl.replace c.leaf_pending k (n - 1)
+  | None -> ()
+
+(* The FIFO rule of §10.3 (same as Gist.search): skip an uncommitted entry
+   whose writer queued its predicate behind ours. *)
+let writer_behind_us c leaf rid =
+  let holders = Lock_manager.holders (locks c) (Lock_manager.Record rid) in
+  let rec scan seen_self = function
+    | [] -> false
+    | p :: rest ->
+      if Txn_id.equal (Pm.owner p) c.tid then scan true rest
+      else if
+        seen_self
+        && (match Pm.kind_of p with Pm.Insert | Pm.Probe -> true | Pm.Scan -> false)
+        && List.exists (fun (h, _) -> Txn_id.equal h (Pm.owner p)) holders
+      then true
+      else scan seen_self rest
+  in
+  scan false (Pm.attached (Gist.predicate_manager c.tree) leaf)
+
+(* After acquiring the record lock, re-find the entry (it may have moved
+   right via splits, which our retained leaf signaling lock keeps
+   chained). Returns whether it is live. *)
+let revalidate c pending =
+  let rec chase pid =
+    if not (Page_id.is_valid pid) then `Gone
+    else
+      match
+        Buffer_pool.with_page (db c).Db.pool pid Latch.S (fun frame ->
+            match Node.read (ext c) frame with
+            | exception Codec.Corrupt _ -> `Gone
+            | node ->
+              if not (Node.is_leaf node) then
+                (* A root grow moved the buffered leaf's content down. *)
+                `Down
+                  (Gist_util.Dyn.fold
+                     (fun l e -> e.Node.ie_child :: l)
+                     [] (Node.internal_entries node)
+                  |> List.rev)
+              else (
+                match Node.find_live_by_rid node pending.p_rid with
+                | Some _ -> `Live
+                | None -> `Next node.Node.rightlink))
+      with
+      | `Next rl -> chase rl
+      | `Down kids ->
+        let rec first = function
+          | [] -> `Gone
+          | k :: rest -> ( match chase k with `Live -> `Live | _ -> first rest)
+        in
+        first kids
+      | (`Live | `Gone) as r -> r
+  in
+  chase pending.p_leaf
+
+let rec next c =
+  if c.closed then None
+  else
+    match c.buffered with
+    | pending :: rest ->
+      c.buffered <- rest;
+      if Hashtbl.mem c.seen pending.p_rid then begin
+        consume_leaf_slot c pending.p_leaf;
+        next c
+      end
+      else begin
+        let lm = locks c in
+        let name = Lock_manager.Record pending.p_rid in
+        let acquired =
+          if Lock_manager.try_lock lm c.tid name Lock_manager.S then true
+          else if writer_behind_us c pending.p_leaf pending.p_rid then false
+          else begin
+            Lock_manager.lock lm c.tid name Lock_manager.S;
+            true
+          end
+        in
+        if not acquired then begin
+          consume_leaf_slot c pending.p_leaf;
+          next c
+        end
+        else
+          match revalidate c pending with
+          | `Live ->
+            Hashtbl.replace c.seen pending.p_rid ();
+            consume_leaf_slot c pending.p_leaf;
+            Some (pending.p_key, pending.p_rid)
+          | `Gone ->
+            Lock_manager.unlock lm c.tid name;
+            consume_leaf_slot c pending.p_leaf;
+            next c
+      end
+    | [] -> (
+      match c.stack with
+      | [] -> None
+      | _ ->
+        advance c;
+        next c)
+
+let save c =
+  c.pinned <- true;
+  { s_stack = c.stack; s_buffered = c.buffered; s_seen = Hashtbl.copy c.seen }
+
+let restore c snapshot =
+  c.stack <- snapshot.s_stack;
+  c.buffered <- snapshot.s_buffered;
+  c.seen <- Hashtbl.copy snapshot.s_seen;
+  (* Leaf slots may have been consumed since the snapshot; the pins taken
+     at [save] keep the locks themselves alive, so just rebuild counts. *)
+  Hashtbl.reset c.leaf_pending;
+  List.iter
+    (fun p ->
+      let k = Page_id.to_int p.p_leaf in
+      Hashtbl.replace c.leaf_pending k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt c.leaf_pending k)))
+    c.buffered
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    c.pinned <- false;
+    Hashtbl.iter
+      (fun k n ->
+        for _ = 1 to n do
+          Lock_manager.unlock (locks c) c.tid (Lock_manager.Node (Page_id.of_int k))
+        done)
+      c.sig_counts;
+    Hashtbl.reset c.sig_counts
+  end

@@ -1,0 +1,204 @@
+open Gist_util
+module Disk = Gist_storage.Disk
+module Buffer_pool = Gist_storage.Buffer_pool
+module Page_id = Gist_storage.Page_id
+module Lsn = Gist_wal.Lsn
+module Log_manager = Gist_wal.Log_manager
+module Log_record = Gist_wal.Log_record
+
+type nsn_source = Nsn_from_lsn | Nsn_from_counter
+
+type memo_source = Memo_global | Memo_parent_lsn
+
+type config = {
+  page_size : int;
+  pool_capacity : int;
+  max_entries : int;
+  io_delay_ns : int;
+  nsn_source : nsn_source;
+  memo_source : memo_source;
+  gc_on_write : bool;
+}
+
+let default_config =
+  {
+    page_size = 4096;
+    pool_capacity = 256;
+    max_entries = 64;
+    io_delay_ns = 0;
+    nsn_source = Nsn_from_lsn;
+    memo_source = Memo_parent_lsn;
+    gc_on_write = true;
+  }
+
+type t = {
+  config : config;
+  exts : (string, Ext.packed) Hashtbl.t;
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  log : Log_manager.t;
+  locks : Gist_txn.Lock_manager.t;
+  txns : Gist_txn.Txn_manager.t;
+  counter : int64 Atomic.t;
+  alloc_mutex : Mutex.t;
+  mutable alloc_next : int;
+  mutable alloc_free : int list;
+}
+
+let attach ~config ~disk ~log =
+  let pool =
+    Buffer_pool.create ~capacity:config.pool_capacity ~disk ~force_log:(fun lsn ->
+        Log_manager.force log lsn)
+  in
+  let locks = Gist_txn.Lock_manager.create () in
+  let txns = Gist_txn.Txn_manager.create ~log ~locks in
+  {
+    config;
+    exts = Hashtbl.create 4;
+    disk;
+    pool;
+    log;
+    locks;
+    txns;
+    counter = Atomic.make 0L;
+    alloc_mutex = Mutex.create ();
+    alloc_next = 1; (* page 0 is the reserved invalid id *)
+    alloc_free = [];
+  }
+
+let create ?(config = default_config) () =
+  let disk = Disk.create ~io_delay_ns:config.io_delay_ns ~page_size:config.page_size () in
+  let log = Log_manager.create () in
+  attach ~config ~disk ~log
+
+let crash t =
+  Buffer_pool.drop_all t.pool;
+  Log_manager.crash t.log;
+  let fresh = attach ~config:t.config ~disk:t.disk ~log:t.log in
+  (* A dedicated counter is volatile; restart over-approximates it from the
+     log so NSN comparisons stay conservative. *)
+  Atomic.set fresh.counter (Log_manager.last_lsn t.log);
+  fresh
+
+(* --- allocator --- *)
+
+let allocate_page t =
+  Mutex.lock t.alloc_mutex;
+  let pid =
+    match t.alloc_free with
+    | p :: rest ->
+      t.alloc_free <- rest;
+      p
+    | [] ->
+      let p = t.alloc_next in
+      t.alloc_next <- p + 1;
+      p
+  in
+  Mutex.unlock t.alloc_mutex;
+  Page_id.of_int pid
+
+let release_page t pid =
+  let pid = Page_id.to_int pid in
+  Mutex.lock t.alloc_mutex;
+  if not (List.mem pid t.alloc_free) then t.alloc_free <- pid :: t.alloc_free;
+  Mutex.unlock t.alloc_mutex
+
+let page_is_free t pid =
+  let pid = Page_id.to_int pid in
+  Mutex.lock t.alloc_mutex;
+  let r = List.mem pid t.alloc_free || pid >= t.alloc_next in
+  Mutex.unlock t.alloc_mutex;
+  r
+
+let mark_unavailable t pid =
+  let pid = Page_id.to_int pid in
+  Mutex.lock t.alloc_mutex;
+  t.alloc_free <- List.filter (fun p -> p <> pid) t.alloc_free;
+  if pid >= t.alloc_next then begin
+    (* Everything between the old frontier and pid stays allocatable. *)
+    for p = t.alloc_next to pid - 1 do
+      if not (List.mem p t.alloc_free) then t.alloc_free <- p :: t.alloc_free
+    done;
+    t.alloc_next <- pid + 1
+  end;
+  Mutex.unlock t.alloc_mutex
+
+let mark_available t pid = release_page t pid
+
+let allocator_snapshot t =
+  Mutex.lock t.alloc_mutex;
+  let b = Buffer.create 64 in
+  Codec.put_i32 b t.alloc_next;
+  Codec.put_list Codec.put_i32 b t.alloc_free;
+  Mutex.unlock t.alloc_mutex;
+  Buffer.contents b
+
+let allocator_restore t s =
+  let r = Codec.reader (Bytes.unsafe_of_string s) in
+  let next = Codec.get_i32 r in
+  let free = Codec.get_list Codec.get_i32 r in
+  Mutex.lock t.alloc_mutex;
+  t.alloc_next <- next;
+  t.alloc_free <- free;
+  Mutex.unlock t.alloc_mutex
+
+(* --- NSN management --- *)
+
+let global_nsn t =
+  match t.config.nsn_source with
+  | Nsn_from_lsn -> Log_manager.last_lsn t.log
+  | Nsn_from_counter -> Atomic.get t.counter
+
+let split_nsn t ~record_lsn =
+  match t.config.nsn_source with
+  | Nsn_from_lsn -> record_lsn
+  | Nsn_from_counter ->
+    let rec bump () =
+      let v = Atomic.get t.counter in
+      let nv = Int64.add v 1L in
+      if Atomic.compare_and_set t.counter v nv then nv else bump ()
+    in
+    bump ()
+
+(* --- checkpointing --- *)
+
+let checkpoint t =
+  let none = Txn_id.none in
+  let begin_lsn = Log_manager.append t.log ~txn:none ~prev:Lsn.nil Log_record.Checkpoint_begin in
+  ignore begin_lsn;
+  let dirty_pages = Buffer_pool.dirty_page_table t.pool in
+  let active_txns = Gist_txn.Txn_manager.active_txns t.txns in
+  let allocator = allocator_snapshot t in
+  let end_lsn =
+    Log_manager.append t.log ~txn:none ~prev:Lsn.nil
+      (Log_record.Checkpoint_end { dirty_pages; active_txns; allocator })
+  in
+  Log_manager.force t.log end_lsn;
+  Log_manager.set_anchor t.log end_lsn
+
+let register_ext t (Ext.Packed e as packed) =
+  Mutex.lock t.alloc_mutex;
+  Hashtbl.replace t.exts e.Ext.name packed;
+  Mutex.unlock t.alloc_mutex
+
+let find_ext t name =
+  Mutex.lock t.alloc_mutex;
+  let r = Hashtbl.find_opt t.exts name in
+  Mutex.unlock t.alloc_mutex;
+  r
+
+let truncate_log t =
+  let anchor = Log_manager.anchor t.log in
+  if Lsn.equal anchor Lsn.nil then 0
+  else begin
+    (* Undo needs every loser's backchain from its Begin; redo needs every
+       unflushed page's first-dirtying record. *)
+    let oldest_active = Gist_txn.Txn_manager.commit_lsn t.txns in
+    let oldest_rec_lsn =
+      List.fold_left
+        (fun acc (_, rec_lsn) -> Lsn.min acc rec_lsn)
+        Int64.max_int
+        (Buffer_pool.dirty_page_table t.pool)
+    in
+    Log_manager.truncate_before t.log (Lsn.min anchor (Lsn.min oldest_active oldest_rec_lsn))
+  end

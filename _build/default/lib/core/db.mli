@@ -1,0 +1,110 @@
+(** Database environment.
+
+    Bundles the substrate a GiST lives on — simulated disk, buffer pool,
+    write-ahead log, lock manager, transaction manager, page allocator —
+    plus the protocol configuration knobs the experiments sweep.
+
+    Crash/restart model: [crash] discards all volatile state (buffer pool
+    contents, lock tables, transaction tables, allocator) and the unforced
+    log tail, returning a fresh environment bound to the same disk and
+    durable log. Callers then run {!Recovery.restart} and re-open trees
+    with [Gist.open_existing]. *)
+
+type nsn_source =
+  | Nsn_from_lsn
+      (** §10.1: NSNs are LSNs; a split's NSN is its Split record's LSN, and
+          the "global counter" is the log's last LSN. Recoverable for free. *)
+  | Nsn_from_counter
+      (** A dedicated atomic counter (the R-link tree design the paper
+          improves on); used by the E8 ablation. Recovered by resetting to
+          the log's last LSN at restart (safe over-approximation). *)
+
+type memo_source =
+  | Memo_global  (** Traversals memorize the global counter (Figure 3). *)
+  | Memo_parent_lsn
+      (** §10.1 optimization: memorize the parent page's LSN instead,
+          avoiding synchronization on the log manager. *)
+
+type config = {
+  page_size : int;
+  pool_capacity : int;  (** Frames in the buffer pool. *)
+  max_entries : int;  (** Fanout cap (besides the byte budget). *)
+  io_delay_ns : int;  (** Simulated per-I/O latency. *)
+  nsn_source : nsn_source;
+  memo_source : memo_source;
+  gc_on_write : bool;
+      (** Garbage-collect committed-deleted entries opportunistically when
+          an insert passes through a leaf (§7.1). *)
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  exts : (string, Ext.packed) Hashtbl.t;
+      (** Access-method registry (by extension name), used by recovery to
+          decode log-record payloads in multi-tree databases. Guarded by
+          [alloc_mutex]. *)
+  disk : Gist_storage.Disk.t;
+  pool : Gist_storage.Buffer_pool.t;
+  log : Gist_wal.Log_manager.t;
+  locks : Gist_txn.Lock_manager.t;
+  txns : Gist_txn.Txn_manager.t;
+  counter : int64 Atomic.t;  (** Dedicated NSN counter (Nsn_from_counter). *)
+  alloc_mutex : Mutex.t;
+  mutable alloc_next : int;
+  mutable alloc_free : int list;
+}
+
+val create : ?config:config -> unit -> t
+
+val crash : t -> t
+(** Simulate a failure: volatile state and the unforced log tail are lost;
+    the returned environment shares the disk and durable log. The old
+    value must not be used afterwards. *)
+
+val checkpoint : t -> unit
+(** Fuzzy checkpoint: Begin/End record pair carrying the dirty page table,
+    transaction table, and allocator snapshot; updates the log anchor. *)
+
+val truncate_log : t -> int
+(** Reclaim log records no future restart can need: everything below
+    min(checkpoint anchor, oldest active transaction's begin LSN, oldest
+    dirty page's recovery LSN). Returns the number of records reclaimed.
+    Call after [checkpoint] (and ideally a buffer-pool flush) to bound log
+    growth. *)
+
+(** {1 NSN management (§10.1)} *)
+
+val global_nsn : t -> Gist_wal.Lsn.t
+(** Current value of the tree-global counter (source per config). *)
+
+val split_nsn : t -> record_lsn:Gist_wal.Lsn.t -> Gist_wal.Lsn.t
+(** The NSN for a node being split: the Split record's own LSN in
+    [Nsn_from_lsn] mode, a counter increment otherwise. *)
+
+(** {1 Page allocation}
+
+    Volatile free-space state; durably reconstructed from Get-Page and
+    Free-Page records at restart. Logging is the caller's job (these are
+    called from inside NTAs). *)
+
+val allocate_page : t -> Gist_storage.Page_id.t
+val release_page : t -> Gist_storage.Page_id.t -> unit
+val page_is_free : t -> Gist_storage.Page_id.t -> bool
+val mark_unavailable : t -> Gist_storage.Page_id.t -> unit
+(** Redo of Get-Page. *)
+
+val mark_available : t -> Gist_storage.Page_id.t -> unit
+(** Redo of Free-Page. *)
+
+val allocator_snapshot : t -> string
+val allocator_restore : t -> string -> unit
+
+(** {1 Extension registry} *)
+
+val register_ext : t -> Ext.packed -> unit
+(** Idempotent; keyed by [Ext.name]. Done by [Gist.create]/[open_existing]
+    and [Recovery.restart]. *)
+
+val find_ext : t -> string -> Ext.packed option

@@ -1,0 +1,35 @@
+type 'p t = {
+  name : string;
+  consistent : 'p -> 'p -> bool;
+  union : 'p list -> 'p;
+  penalty : 'p -> 'p -> float;
+  pick_split : 'p array -> bool array;
+  matches_exact : 'p -> 'p -> bool;
+  encode : Buffer.t -> 'p -> unit;
+  decode : Gist_util.Codec.reader -> 'p;
+  pp : Format.formatter -> 'p -> unit;
+}
+
+type packed = Packed : 'p t -> packed
+
+let encode_to_string ext p =
+  let b = Buffer.create 32 in
+  ext.encode b p;
+  Buffer.contents b
+
+let decode_of_string ext s =
+  ext.decode (Gist_util.Codec.reader (Bytes.unsafe_of_string s))
+
+let check_pick_split ext ps =
+  let n = Array.length ps in
+  assert (n >= 2);
+  let assignment = ext.pick_split ps in
+  let valid =
+    Array.length assignment = n
+    && Array.exists (fun b -> b) assignment
+    && Array.exists (fun b -> not b) assignment
+  in
+  if valid then assignment
+  else (
+    Logs.warn (fun m -> m "%s: pick_split violated its contract; using half/half" ext.name);
+    Array.init n (fun i -> i >= n / 2))

@@ -1,0 +1,53 @@
+(** GiST extension methods.
+
+    An access method specializes the GiST by supplying this record — the
+    [consistent] / [union] / [penalty] / [pickSplit] quadruple of [HNP95]
+    plus binary codecs (so nodes and log records can carry keys without the
+    kernel understanding them) and the exact-match test that key deletion
+    and unique indices need.
+
+    A single type ['p] covers both leaf keys and internal bounding
+    predicates, as in the paper (a key is just the most specific
+    predicate). The contracts:
+
+    - [consistent q p]: MUST return [true] whenever an entry matching the
+      query predicate [q] can exist in a subtree bounded by [p] (false
+      positives allowed, false negatives forbidden).
+    - [union ps]: a predicate that bounds every member of [ps]. [ps] is
+      never empty.
+    - [penalty bp key]: domain-specific cost of enlarging [bp] to also
+      cover [key]; lower is better. Need not be monotone.
+    - [pick_split ps]: partition indices of [ps] (at least 2 elements) into
+      two non-empty groups; [true] in slot [i] sends element [i] to the new
+      right sibling.
+    - [matches_exact k1 k2]: equality of keys, used for delete-by-key and
+      the unique-index duplicate test.
+
+    All functions must be pure (no shared mutable state) — they are called
+    concurrently from many domains. *)
+
+type 'p t = {
+  name : string;
+  consistent : 'p -> 'p -> bool;  (** [consistent query bp]. *)
+  union : 'p list -> 'p;
+  penalty : 'p -> 'p -> float;  (** [penalty bp key]. *)
+  pick_split : 'p array -> bool array;
+  matches_exact : 'p -> 'p -> bool;
+  encode : Buffer.t -> 'p -> unit;
+  decode : Gist_util.Codec.reader -> 'p;
+  pp : Format.formatter -> 'p -> unit;
+}
+
+type packed = Packed : 'p t -> packed
+(** Existential wrapper used by recovery to dispatch on the extension
+    recorded in each log record (multi-tree databases). *)
+
+val encode_to_string : 'p t -> 'p -> string
+(** Convenience: the key's binary image as a string (for log records). *)
+
+val decode_of_string : 'p t -> string -> 'p
+
+val check_pick_split : 'p t -> 'p array -> bool array
+(** Run [pick_split] and validate its contract (both sides non-empty,
+    correct length); falls back to a half/half split on violation rather
+    than corrupting the tree. *)

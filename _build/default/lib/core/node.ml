@@ -1,0 +1,245 @@
+open Gist_util
+module Page_id = Gist_storage.Page_id
+module Rid = Gist_storage.Rid
+module Lsn = Gist_wal.Lsn
+module Buffer_pool = Gist_storage.Buffer_pool
+
+type 'p leaf_entry = { le_key : 'p; le_rid : Rid.t; mutable le_deleter : Txn_id.t }
+
+type 'p internal_entry = { mutable ie_bp : 'p; ie_child : Page_id.t }
+
+type 'p entries = Leaf of 'p leaf_entry Dyn.t | Internal of 'p internal_entry Dyn.t
+
+type 'p t = {
+  id : Page_id.t;
+  mutable nsn : Lsn.t;
+  mutable rightlink : Page_id.t;
+  mutable level : int;
+  mutable bp : 'p;
+  mutable entries : 'p entries;
+}
+
+let body_offset = 8 (* bytes 0..7 hold the page LSN *)
+
+let kind_leaf = 1
+
+let kind_internal = 2
+
+let make_leaf ~id ~bp =
+  { id; nsn = Lsn.nil; rightlink = Page_id.invalid; level = 0; bp; entries = Leaf (Dyn.create ()) }
+
+let make_internal ~id ~level ~bp =
+  if level < 1 then invalid_arg "Node.make_internal: level must be >= 1";
+  { id; nsn = Lsn.nil; rightlink = Page_id.invalid; level; bp; entries = Internal (Dyn.create ()) }
+
+let is_leaf t = t.level = 0
+
+let leaf_entries t =
+  match t.entries with
+  | Leaf d -> d
+  | Internal _ -> invalid_arg "Node.leaf_entries: internal node"
+
+let internal_entries t =
+  match t.entries with
+  | Internal d -> d
+  | Leaf _ -> invalid_arg "Node.internal_entries: leaf node"
+
+let entry_count t = match t.entries with Leaf d -> Dyn.length d | Internal d -> Dyn.length d
+
+let live_leaf_count t =
+  Dyn.fold (fun n e -> if Txn_id.is_some e.le_deleter then n else n + 1) 0 (leaf_entries t)
+
+(* --- entry codecs --- *)
+
+let put_leaf_entry ext b e =
+  ext.Ext.encode b e.le_key;
+  Rid.encode b e.le_rid;
+  Txn_id.encode b e.le_deleter
+
+let get_leaf_entry ext r =
+  let le_key = ext.Ext.decode r in
+  let le_rid = Rid.decode r in
+  let le_deleter = Txn_id.decode r in
+  { le_key; le_rid; le_deleter }
+
+let put_internal_entry ext b e =
+  ext.Ext.encode b e.ie_bp;
+  Page_id.encode b e.ie_child
+
+let get_internal_entry ext r =
+  let ie_bp = ext.Ext.decode r in
+  let ie_child = Page_id.decode r in
+  { ie_bp; ie_child }
+
+let encode_leaf_entry ext e =
+  let b = Buffer.create 32 in
+  Codec.put_u8 b kind_leaf;
+  put_leaf_entry ext b e;
+  Buffer.contents b
+
+let encode_internal_entry ext e =
+  let b = Buffer.create 32 in
+  Codec.put_u8 b kind_internal;
+  put_internal_entry ext b e;
+  Buffer.contents b
+
+let decode_entry ext s =
+  let r = Codec.reader (Bytes.unsafe_of_string s) in
+  match Codec.get_u8 r with
+  | 1 -> `Leaf (get_leaf_entry ext r)
+  | 2 -> `Internal (get_internal_entry ext r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad entry kind %d" n))
+
+let leaf_entry_size ext key =
+  let b = Buffer.create 32 in
+  ext.Ext.encode b key;
+  Buffer.length b + 12 (* rid (8) + deleter (4) *)
+
+(* --- page image --- *)
+
+let is_formatted frame =
+  let img = Buffer_pool.data frame in
+  let k = Bytes.get_uint8 img body_offset in
+  k = kind_leaf || k = kind_internal
+
+let encode_body ext t b =
+  Codec.put_u8 b (if is_leaf t then kind_leaf else kind_internal);
+  Lsn.encode b t.nsn;
+  Page_id.encode b t.rightlink;
+  Codec.put_i32 b t.level;
+  ext.Ext.encode b t.bp;
+  match t.entries with
+  | Leaf d ->
+    Codec.put_i32 b (Dyn.length d);
+    Dyn.iter (put_leaf_entry ext b) d
+  | Internal d ->
+    Codec.put_i32 b (Dyn.length d);
+    Dyn.iter (put_internal_entry ext b) d
+
+let body_size ext t =
+  let b = Buffer.create 256 in
+  encode_body ext t b;
+  Buffer.length b
+
+let fits ext t ~page_size ~extra ~max_entries =
+  entry_count t < max_entries && body_size ext t + extra <= page_size - body_offset
+
+let read ext frame =
+  let img = Buffer_pool.data frame in
+  let r = Codec.reader ~pos:body_offset img in
+  let kind = Codec.get_u8 r in
+  if kind <> kind_leaf && kind <> kind_internal then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf "page %d is not a formatted node (kind %d)"
+            (Page_id.to_int (Buffer_pool.page_id frame))
+            kind));
+  let nsn = Lsn.decode r in
+  let rightlink = Page_id.decode r in
+  let level = Codec.get_i32 r in
+  let bp = ext.Ext.decode r in
+  let count = Codec.get_i32 r in
+  let entries =
+    if kind = kind_leaf then begin
+      let d = Dyn.create () in
+      for _ = 1 to count do
+        Dyn.push d (get_leaf_entry ext r)
+      done;
+      Leaf d
+    end
+    else begin
+      let d = Dyn.create () in
+      for _ = 1 to count do
+        Dyn.push d (get_internal_entry ext r)
+      done;
+      Internal d
+    end
+  in
+  { id = Buffer_pool.page_id frame; nsn; rightlink; level; bp; entries }
+
+let write ext t frame =
+  let img = Buffer_pool.data frame in
+  let b = Buffer.create 512 in
+  encode_body ext t b;
+  let len = Buffer.length b in
+  if len > Bytes.length img - body_offset then
+    failwith
+      (Printf.sprintf "Node.write: node %d body (%d bytes) exceeds page size"
+         (Page_id.to_int t.id) len);
+  Buffer.blit b 0 img body_offset len;
+  (* Zero one trailing byte so a shrunken node can't leave a stale valid
+     kind tag beyond... the length prefix already bounds decoding; nothing
+     else required. *)
+  ()
+
+(* --- entry manipulation --- *)
+
+let find_by t p =
+  let d = leaf_entries t in
+  match Dyn.find_index p d with Some i -> Some (Dyn.get d i) | None -> None
+
+let remove_by t p =
+  let d = leaf_entries t in
+  match Dyn.find_index p d with
+  | Some i ->
+    Dyn.remove d i;
+    true
+  | None -> false
+
+let find_leaf_by_rid t rid = find_by t (fun e -> Rid.equal e.le_rid rid)
+
+let find_live_by_rid t rid =
+  find_by t (fun e -> Rid.equal e.le_rid rid && not (Txn_id.is_some e.le_deleter))
+
+let find_marked_by t rid txn =
+  find_by t (fun e -> Rid.equal e.le_rid rid && Txn_id.equal e.le_deleter txn)
+
+let add_leaf_entry t e = Dyn.push (leaf_entries t) e
+
+let remove_leaf_by_rid t rid = remove_by t (fun e -> Rid.equal e.le_rid rid)
+
+let remove_live_by_rid t rid =
+  remove_by t (fun e -> Rid.equal e.le_rid rid && not (Txn_id.is_some e.le_deleter))
+
+let remove_marked_by_rid t rid =
+  remove_by t (fun e -> Rid.equal e.le_rid rid && Txn_id.is_some e.le_deleter)
+
+let find_child t pid =
+  let d = internal_entries t in
+  match Dyn.find_index (fun e -> Page_id.equal e.ie_child pid) d with
+  | Some i -> Some (Dyn.get d i)
+  | None -> None
+
+let add_internal_entry t e = Dyn.push (internal_entries t) e
+
+let remove_child t pid =
+  let d = internal_entries t in
+  match Dyn.find_index (fun e -> Page_id.equal e.ie_child pid) d with
+  | Some i ->
+    Dyn.remove d i;
+    true
+  | None -> false
+
+let entry_preds t =
+  match t.entries with
+  | Leaf d -> Dyn.fold (fun acc e -> e.le_key :: acc) [] d
+  | Internal d -> Dyn.fold (fun acc e -> e.ie_bp :: acc) [] d
+
+let recompute_bp ext t =
+  match entry_preds t with [] -> () | ps -> t.bp <- ext.Ext.union ps
+
+let pp ext ppf t =
+  Format.fprintf ppf "@[<v 2>node %a level=%d nsn=%a rightlink=%a bp=%a entries=%d" Page_id.pp
+    t.id t.level Lsn.pp t.nsn Page_id.pp t.rightlink ext.Ext.pp t.bp (entry_count t);
+  (match t.entries with
+  | Leaf d ->
+    Dyn.iter
+      (fun e ->
+        Format.fprintf ppf "@,%a %a%s" ext.Ext.pp e.le_key Rid.pp e.le_rid
+          (if Txn_id.is_some e.le_deleter then
+             Format.asprintf " (deleted by %a)" Txn_id.pp e.le_deleter
+           else ""))
+      d
+  | Internal d ->
+    Dyn.iter (fun e -> Format.fprintf ppf "@,%a -> %a" ext.Ext.pp e.ie_bp Page_id.pp e.ie_child) d);
+  Format.fprintf ppf "@]"

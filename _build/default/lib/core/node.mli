@@ -1,0 +1,114 @@
+(** Tree node layout and page image codec.
+
+    Every node carries the concurrency-protocol header of §3 — its NSN and
+    rightlink — plus its level (0 = leaf) and its own bounding predicate
+    (kept in sync with the parent entry by Parent-Entry-Update records; for
+    the root, the header is the only copy).
+
+    Leaf entries are [(key, RID)] pairs with the logical-deletion mark of
+    §7 ([deleter] is the deleting transaction, [Txn_id.none] when live).
+    The BP of a node covers *all* physical entries including marked ones —
+    they must stay reachable so that repeatable-read searches can block on
+    them.
+
+    A node is (de)serialized to its page frame on every access; bytes 0–7
+    of the page are the page LSN (buffer-pool convention) and the body
+    starts at offset 8. *)
+
+type 'p leaf_entry = {
+  le_key : 'p;
+  le_rid : Gist_storage.Rid.t;
+  mutable le_deleter : Gist_util.Txn_id.t;
+}
+
+type 'p internal_entry = { mutable ie_bp : 'p; ie_child : Gist_storage.Page_id.t }
+
+type 'p entries = Leaf of 'p leaf_entry Gist_util.Dyn.t | Internal of 'p internal_entry Gist_util.Dyn.t
+
+type 'p t = {
+  id : Gist_storage.Page_id.t;
+  mutable nsn : Gist_wal.Lsn.t;
+  mutable rightlink : Gist_storage.Page_id.t;  (** [Page_id.invalid] = none. *)
+  mutable level : int;
+  mutable bp : 'p;
+  mutable entries : 'p entries;
+}
+
+val make_leaf : id:Gist_storage.Page_id.t -> bp:'p -> 'p t
+val make_internal : id:Gist_storage.Page_id.t -> level:int -> bp:'p -> 'p t
+
+val is_leaf : 'p t -> bool
+val entry_count : 'p t -> int
+val live_leaf_count : 'p t -> int
+(** Leaf entries not marked deleted. *)
+
+(** {1 Page image} *)
+
+val is_formatted : Gist_storage.Buffer_pool.frame -> bool
+(** Whether the frame's page holds an encoded node. *)
+
+val read : 'p Ext.t -> Gist_storage.Buffer_pool.frame -> 'p t
+(** Decode the node from the frame (caller holds at least the S latch).
+    @raise Gist_util.Codec.Corrupt on an unformatted or damaged page. *)
+
+val write : 'p Ext.t -> 'p t -> Gist_storage.Buffer_pool.frame -> unit
+(** Encode into the frame (caller holds the X latch and will [mark_dirty]).
+    @raise Failure if the node exceeds the page size — callers must check
+    {!fits} before growing a node. *)
+
+val body_size : 'p Ext.t -> 'p t -> int
+
+val fits : 'p Ext.t -> 'p t -> page_size:int -> extra:int -> max_entries:int -> bool
+(** Capacity check: would the node still fit in a page (with [extra] more
+    bytes pending) and respect the configured fanout cap? *)
+
+(** {1 Entry images (for log records)} *)
+
+val encode_leaf_entry : 'p Ext.t -> 'p leaf_entry -> string
+val encode_internal_entry : 'p Ext.t -> 'p internal_entry -> string
+val decode_entry :
+  'p Ext.t -> string -> [ `Leaf of 'p leaf_entry | `Internal of 'p internal_entry ]
+val leaf_entry_size : 'p Ext.t -> 'p -> int
+(** Encoded size of a leaf entry with the given key. *)
+
+(** {1 Entry manipulation} *)
+
+val leaf_entries : 'p t -> 'p leaf_entry Gist_util.Dyn.t
+(** @raise Invalid_argument on an internal node. *)
+
+val internal_entries : 'p t -> 'p internal_entry Gist_util.Dyn.t
+(** @raise Invalid_argument on a leaf. *)
+
+val find_leaf_by_rid : 'p t -> Gist_storage.Rid.t -> 'p leaf_entry option
+(** First physical entry with this RID, live or marked. *)
+
+val find_live_by_rid : 'p t -> Gist_storage.Rid.t -> 'p leaf_entry option
+(** The live (unmarked) entry with this RID. A committed logical delete
+    followed by a reinsertion of the same RID legitimately leaves a marked
+    twin awaiting garbage collection, so RID-addressed operations must say
+    which generation they mean. *)
+
+val find_marked_by : 'p t -> Gist_storage.Rid.t -> Gist_util.Txn_id.t -> 'p leaf_entry option
+(** The entry with this RID marked deleted by the given transaction. *)
+
+val add_leaf_entry : 'p t -> 'p leaf_entry -> unit
+val remove_leaf_by_rid : 'p t -> Gist_storage.Rid.t -> bool
+
+val remove_live_by_rid : 'p t -> Gist_storage.Rid.t -> bool
+(** Remove the live entry with this RID (used by undo of an insertion). *)
+
+val remove_marked_by_rid : 'p t -> Gist_storage.Rid.t -> bool
+(** Remove a marked-deleted entry with this RID (garbage collection). *)
+
+val find_child : 'p t -> Gist_storage.Page_id.t -> 'p internal_entry option
+val add_internal_entry : 'p t -> 'p internal_entry -> unit
+val remove_child : 'p t -> Gist_storage.Page_id.t -> bool
+
+val recompute_bp : 'p Ext.t -> 'p t -> unit
+(** Reset the header BP to the union of all (physical) entries. A node with
+    no entries keeps its current BP. *)
+
+val entry_preds : 'p t -> 'p list
+(** The key/BP of every physical entry. *)
+
+val pp : 'p Ext.t -> Format.formatter -> 'p t -> unit

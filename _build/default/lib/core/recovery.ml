@@ -1,0 +1,445 @@
+open Gist_util
+module Page_id = Gist_storage.Page_id
+module Buffer_pool = Gist_storage.Buffer_pool
+module Latch = Gist_storage.Latch
+module Lsn = Gist_wal.Lsn
+module Log_record = Gist_wal.Log_record
+module Log_manager = Gist_wal.Log_manager
+module Txn_manager = Gist_txn.Txn_manager
+
+(* Apply [f] to the page under its X latch iff the page image predates
+   [lsn]; stamp the page with [lsn] afterwards. The page-LSN comparison is
+   what makes redo idempotent (repeat history). *)
+let cond_page db page ~lsn f =
+  Buffer_pool.with_page db.Db.pool page Latch.X (fun frame ->
+      if Lsn.( < ) (Buffer_pool.page_lsn frame) lsn then begin
+        f frame;
+        Buffer_pool.mark_dirty db.Db.pool frame ~lsn
+      end)
+
+let write_back _db ext node frame = Node.write ext node frame
+
+let add_decoded ext node s =
+  match Node.decode_entry ext s with
+  | `Leaf le -> Node.add_leaf_entry node le
+  | `Internal ie -> Node.add_internal_entry node ie
+
+let remove_decoded ext node s =
+  match Node.decode_entry ext s with
+  | `Leaf le -> ignore (Node.remove_leaf_by_rid node le.Node.le_rid)
+  | `Internal ie -> ignore (Node.remove_child node ie.Node.ie_child)
+
+let rec redo_payload_txn db ext ~txn ~lsn payload =
+  match payload with
+  | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.End
+  | Log_record.Checkpoint_begin | Log_record.Checkpoint_end _ ->
+    ()
+  | Log_record.Clr { action = Log_record.Act_none; _ } -> ()
+  | Log_record.Clr { action = Log_record.Act_apply inner; _ } ->
+    redo_payload_txn db ext ~txn ~lsn inner
+  | Log_record.Format_node { page; level; bp } ->
+    cond_page db page ~lsn (fun frame ->
+        let bp = Ext.decode_of_string ext bp in
+        let node =
+          if level = 0 then Node.make_leaf ~id:page ~bp
+          else Node.make_internal ~id:page ~level ~bp
+        in
+        write_back db ext node frame)
+  | Log_record.Parent_entry_update { parent; child; new_bp } ->
+    let new_bp = Ext.decode_of_string ext new_bp in
+    if Page_id.equal parent child then
+      (* Degenerate form: expansion of a root leaf's header BP. *)
+      cond_page db parent ~lsn (fun frame ->
+          let node = Node.read ext frame in
+          node.Node.bp <- new_bp;
+          write_back db ext node frame)
+    else begin
+      cond_page db parent ~lsn (fun frame ->
+          let node = Node.read ext frame in
+          (match Node.find_child node child with
+          | Some ie -> ie.Node.ie_bp <- new_bp
+          | None -> ());
+          node.Node.bp <- ext.Ext.union [ node.Node.bp; new_bp ];
+          write_back db ext node frame);
+      cond_page db child ~lsn (fun frame ->
+          let node = Node.read ext frame in
+          node.Node.bp <- new_bp;
+          write_back db ext node frame)
+    end
+  | Log_record.Split { orig; right; moved; orig_old_nsn; orig_new_nsn; orig_old_rightlink; level }
+    ->
+    let new_nsn = if Lsn.equal orig_new_nsn Lsn.nil then lsn else orig_new_nsn in
+    cond_page db orig ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        List.iter (remove_decoded ext node) moved;
+        node.Node.nsn <- new_nsn;
+        node.Node.rightlink <- right;
+        Node.recompute_bp ext node;
+        write_back db ext node frame);
+    cond_page db right ~lsn (fun frame ->
+        (* Rebuild the new sibling from the record alone (it may never have
+           been flushed). *)
+        let dummy_bp =
+          match Node.decode_entry ext (List.hd moved) with
+          | `Leaf le -> le.Node.le_key
+          | `Internal ie -> ie.Node.ie_bp
+        in
+        let node =
+          if level = 0 then Node.make_leaf ~id:right ~bp:dummy_bp
+          else Node.make_internal ~id:right ~level ~bp:dummy_bp
+        in
+        List.iter (add_decoded ext node) moved;
+        node.Node.nsn <- orig_old_nsn;
+        node.Node.rightlink <- orig_old_rightlink;
+        Node.recompute_bp ext node;
+        write_back db ext node frame)
+  | Log_record.Root_grow { root; child; entries; root_old_nsn; old_level; root_bp } ->
+    let root_bp = Ext.decode_of_string ext root_bp in
+    cond_page db root ~lsn (fun frame ->
+        let node = Node.make_internal ~id:root ~level:(old_level + 1) ~bp:root_bp in
+        Node.add_internal_entry node { Node.ie_bp = root_bp; ie_child = child };
+        node.Node.nsn <- root_old_nsn;
+        write_back db ext node frame);
+    cond_page db child ~lsn (fun frame ->
+        let node =
+          if old_level = 0 then Node.make_leaf ~id:child ~bp:root_bp
+          else Node.make_internal ~id:child ~level:old_level ~bp:root_bp
+        in
+        List.iter (add_decoded ext node) entries;
+        node.Node.nsn <- root_old_nsn;
+        write_back db ext node frame)
+  | Log_record.Root_shrink { root; entries; restore_nsn; restore_level; _ } ->
+    cond_page db root ~lsn (fun frame ->
+        let old = Node.read ext frame in
+        let node =
+          if restore_level = 0 then Node.make_leaf ~id:root ~bp:old.Node.bp
+          else Node.make_internal ~id:root ~level:restore_level ~bp:old.Node.bp
+        in
+        List.iter (add_decoded ext node) entries;
+        node.Node.nsn <- restore_nsn;
+        Node.recompute_bp ext node;
+        write_back db ext node frame)
+  | Log_record.Unsplit { orig; moved; restore_nsn; restore_rightlink; _ } ->
+    cond_page db orig ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        List.iter (add_decoded ext node) moved;
+        node.Node.nsn <- restore_nsn;
+        node.Node.rightlink <- restore_rightlink;
+        Node.recompute_bp ext node;
+        write_back db ext node frame)
+  | Log_record.Garbage_collection { page; rids } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        List.iter (fun rid -> ignore (Node.remove_marked_by_rid node rid)) rids;
+        Node.recompute_bp ext node;
+        write_back db ext node frame)
+  | Log_record.Internal_entry_add { page; entry } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        add_decoded ext node entry;
+        write_back db ext node frame)
+  | Log_record.Internal_entry_update { page; child; new_bp; _ } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        (match Node.find_child node child with
+        | Some ie -> ie.Node.ie_bp <- Ext.decode_of_string ext new_bp
+        | None -> ());
+        write_back db ext node frame)
+  | Log_record.Internal_entry_delete { page; entry } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        remove_decoded ext node entry;
+        write_back db ext node frame)
+  | Log_record.Add_leaf_entry { page; entry; _ } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        (match Node.decode_entry ext entry with
+        | `Leaf le ->
+          Node.add_leaf_entry node le;
+          node.Node.bp <- ext.Ext.union [ node.Node.bp; le.Node.le_key ]
+        | `Internal _ -> ());
+        write_back db ext node frame)
+  | Log_record.Mark_leaf_entry { page; rid; _ } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        (match Node.find_live_by_rid node rid with
+        | Some e -> e.Node.le_deleter <- txn
+        | None -> ());
+        write_back db ext node frame)
+  | Log_record.Remove_leaf_entry { page; rid } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        if not (Node.remove_live_by_rid node rid) then
+          ignore (Node.remove_leaf_by_rid node rid);
+        write_back db ext node frame)
+  | Log_record.Unmark_leaf_entry { page; rid } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        (match Node.find_marked_by node rid txn with
+        | Some e -> e.Node.le_deleter <- Txn_id.none
+        | None -> ());
+        write_back db ext node frame)
+  | Log_record.Set_rightlink { page; new_rl; _ } ->
+    cond_page db page ~lsn (fun frame ->
+        let node = Node.read ext frame in
+        node.Node.rightlink <- new_rl;
+        write_back db ext node frame)
+  | Log_record.Get_page { page } -> Db.mark_unavailable db page
+  | Log_record.Free_page { page } ->
+    Db.mark_available db page;
+    cond_page db page ~lsn (fun frame ->
+        Bytes.fill (Buffer_pool.data frame) 0 (Bytes.length (Buffer_pool.data frame)) '\000')
+
+let redo_payload db ext ~lsn payload = redo_payload_txn db ext ~txn:Txn_id.none ~lsn payload
+
+(* Allocator effects applied during analysis (the snapshot in the anchor
+   checkpoint is the base; later Get/Free records replay on top). *)
+let rec analysis_alloc db payload =
+  match payload with
+  | Log_record.Get_page { page } -> Db.mark_unavailable db page
+  | Log_record.Free_page { page } -> Db.mark_available db page
+  | Log_record.Clr { action = Log_record.Act_apply inner; _ } -> analysis_alloc db inner
+  | _ -> ()
+
+
+(* ------------------------------------------------------------------ *)
+(* Undo (runtime aborts and restart losers)                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_node db ext node frame ~lsn =
+  Node.write ext node frame;
+  Buffer_pool.mark_dirty db.Db.pool frame ~lsn
+
+let with_node db ext pid mode f =
+  Buffer_pool.with_page db.Db.pool pid mode (fun frame -> f frame (Node.read ext frame))
+
+(* Relocate the leaf entry a logical undo must touch, starting from the
+   page recorded in the log (§9.2). Splits moved entries *right* (follow
+   rightlinks — the chain is intact because the inserting transaction's
+   signaling lock on its target leaf is retained until end of transaction,
+   §7.2); a root grow moved them *down* (recurse into children). *)
+let undo_on_chain db ext start f =
+  let rec chase pid =
+    if not (Page_id.is_valid pid) then false
+    else
+      let step =
+        with_node db ext pid Latch.X (fun frame node ->
+            if Node.is_leaf node then
+              if f frame node then `Found else `Right node.Node.rightlink
+            else
+              `Down
+                (Gist_util.Dyn.fold
+                   (fun l e -> e.Node.ie_child :: l)
+                   [] (Node.internal_entries node)
+                |> List.rev))
+      in
+      match step with
+      | `Found -> true
+      | `Right rl -> chase rl
+      | `Down kids -> List.exists chase kids
+  in
+  if not (chase start) then
+    Logs.err (fun m ->
+        m "recovery: logical undo could not relocate an entry from %a" Page_id.pp start)
+
+(* Apply the compensating action for [record], logging a CLR (tagged with
+   the record's own extension) whose redo is page-LSN conditional. *)
+let undo_record db ext txn (record : Log_record.t) =
+  let txns = db.Db.txns in
+  let log_clr action =
+    Txn_manager.log_update txns txn ~ext:record.Log_record.ext
+      (Log_record.Clr { action; undo_next = record.Log_record.prev })
+  in
+  match record.Log_record.payload with
+  | Log_record.Add_leaf_entry { page; rid; _ } ->
+    undo_on_chain db ext page (fun frame node ->
+        if Node.remove_live_by_rid node rid then begin
+          let lsn =
+            log_clr
+              (Log_record.Act_apply (Log_record.Remove_leaf_entry { page = node.Node.id; rid }))
+          in
+          write_node db ext node frame ~lsn;
+          true
+        end
+        else false)
+  | Log_record.Mark_leaf_entry { page; rid; _ } ->
+    undo_on_chain db ext page (fun frame node ->
+        match Node.find_marked_by node rid (Txn_manager.id txn) with
+        | Some e ->
+          e.Node.le_deleter <- Txn_id.none;
+          let lsn =
+            log_clr
+              (Log_record.Act_apply (Log_record.Unmark_leaf_entry { page = node.Node.id; rid }))
+          in
+          write_node db ext node frame ~lsn;
+          true
+        | None -> false)
+  | Log_record.Internal_entry_add { page; entry } ->
+    with_node db ext page Latch.X (fun frame node ->
+        (match Node.decode_entry ext entry with
+        | `Internal ie -> ignore (Node.remove_child node ie.Node.ie_child)
+        | `Leaf _ -> ());
+        let lsn =
+          log_clr (Log_record.Act_apply (Log_record.Internal_entry_delete { page; entry }))
+        in
+        write_node db ext node frame ~lsn)
+  | Log_record.Internal_entry_delete { page; entry } ->
+    with_node db ext page Latch.X (fun frame node ->
+        (match Node.decode_entry ext entry with
+        | `Internal ie -> Node.add_internal_entry node ie
+        | `Leaf _ -> ());
+        let lsn =
+          log_clr (Log_record.Act_apply (Log_record.Internal_entry_add { page; entry }))
+        in
+        write_node db ext node frame ~lsn)
+  | Log_record.Internal_entry_update { page; child; new_bp; old_bp } ->
+    with_node db ext page Latch.X (fun frame node ->
+        (match Node.find_child node child with
+        | Some ie -> ie.Node.ie_bp <- Ext.decode_of_string ext old_bp
+        | None -> ());
+        let lsn =
+          log_clr
+            (Log_record.Act_apply
+               (Log_record.Internal_entry_update { page; child; new_bp = old_bp; old_bp = new_bp }))
+        in
+        write_node db ext node frame ~lsn)
+  | Log_record.Split { orig; right; moved; orig_old_nsn; orig_old_rightlink; _ } ->
+    (* Interrupted split NTA: move the entries back, restore the header. *)
+    with_node db ext orig Latch.X (fun frame node ->
+        List.iter (fun e -> add_decoded ext node e) moved;
+        node.Node.nsn <- orig_old_nsn;
+        node.Node.rightlink <- orig_old_rightlink;
+        Node.recompute_bp ext node;
+        let lsn =
+          log_clr
+            (Log_record.Act_apply
+               (Log_record.Unsplit
+                  {
+                    orig;
+                    right;
+                    moved;
+                    restore_nsn = orig_old_nsn;
+                    restore_rightlink = orig_old_rightlink;
+                  }))
+        in
+        write_node db ext node frame ~lsn)
+  | Log_record.Root_grow { root = rt; child; entries; root_old_nsn; old_level; _ } ->
+    with_node db ext rt Latch.X (fun frame node ->
+        let restored =
+          if old_level = 0 then Node.make_leaf ~id:rt ~bp:node.Node.bp
+          else Node.make_internal ~id:rt ~level:old_level ~bp:node.Node.bp
+        in
+        List.iter (fun e -> add_decoded ext restored e) entries;
+        restored.Node.nsn <- root_old_nsn;
+        Node.recompute_bp ext restored;
+        let lsn =
+          log_clr
+            (Log_record.Act_apply
+               (Log_record.Root_shrink
+                  { root = rt; child; entries; restore_nsn = root_old_nsn; restore_level = old_level }))
+        in
+        write_node db ext restored frame ~lsn)
+  | Log_record.Set_rightlink { page; new_rl; old_rl } ->
+    with_node db ext page Latch.X (fun frame node ->
+        node.Node.rightlink <- old_rl;
+        let lsn =
+          log_clr
+            (Log_record.Act_apply
+               (Log_record.Set_rightlink { page; new_rl = old_rl; old_rl = new_rl }))
+        in
+        write_node db ext node frame ~lsn)
+  | Log_record.Get_page { page } ->
+    ignore (log_clr (Log_record.Act_apply (Log_record.Free_page { page })));
+    Db.release_page db page
+  | Log_record.Free_page { page } ->
+    ignore (log_clr (Log_record.Act_apply (Log_record.Get_page { page })));
+    Db.mark_unavailable db page
+  | _ ->
+    (* Redo-only and control records never reach the undo handler. *)
+    ()
+
+(* Install the dispatching undo handler: each undoable record names its
+   access method; the registry supplies the codec. *)
+let install db =
+  Txn_manager.set_undo_handler db.Db.txns (fun txn record ->
+      match record.Log_record.ext with
+      | "" -> ()
+      | name -> (
+        match Db.find_ext db name with
+        | Some (Ext.Packed ext) -> undo_record db ext txn record
+        | None ->
+          failwith
+            (Printf.sprintf "recovery: no registered extension %S for undo" name)))
+
+let restart_multi db packed_exts =
+  let log = db.Db.log in
+  let txns = db.Db.txns in
+  List.iter (Db.register_ext db) packed_exts;
+  install db;
+  let ext_for name =
+    match Db.find_ext db name with
+    | Some (Ext.Packed _ as p) -> p
+    | None -> failwith (Printf.sprintf "recovery: no registered extension %S" name)
+  in
+  let anchor = Log_manager.anchor log in
+  let start = if Lsn.( < ) Lsn.nil anchor then anchor else 1L in
+  (* --- Analysis --- *)
+  let table : (Txn_id.t, Log_record.status * Lsn.t) Hashtbl.t = Hashtbl.create 64 in
+  let dpt : (Page_id.t, Lsn.t) Hashtbl.t = Hashtbl.create 256 in
+  Log_manager.iter_from log start (fun record ->
+      let lsn = record.Log_record.lsn in
+      let tid = record.Log_record.txn in
+      (match record.Log_record.payload with
+      | Log_record.Checkpoint_end { dirty_pages; active_txns; allocator } ->
+        if Lsn.equal lsn anchor then begin
+          Db.allocator_restore db allocator;
+          List.iter
+            (fun (p, rec_lsn) -> if not (Hashtbl.mem dpt p) then Hashtbl.replace dpt p rec_lsn)
+            dirty_pages;
+          List.iter (fun (t, s, l) -> Hashtbl.replace table t (s, l)) active_txns
+        end
+      | Log_record.Begin -> Hashtbl.replace table tid (Log_record.Active, lsn)
+      | Log_record.Commit ->
+        Hashtbl.replace table tid (Log_record.Committed, lsn);
+        Txn_manager.mark_committed txns tid
+      | Log_record.Abort -> Hashtbl.replace table tid (Log_record.Aborting, lsn)
+      | Log_record.End -> Hashtbl.remove table tid
+      | payload ->
+        analysis_alloc db payload;
+        if Txn_id.is_some tid then begin
+          let status =
+            match Hashtbl.find_opt table tid with Some (s, _) -> s | None -> Log_record.Active
+          in
+          Hashtbl.replace table tid (status, lsn)
+        end;
+        List.iter
+          (fun p -> if not (Hashtbl.mem dpt p) then Hashtbl.replace dpt p lsn)
+          (Log_record.pages_touched payload)));
+  (* --- Redo: repeat history from the earliest recovery LSN --- *)
+  let redo_start = Hashtbl.fold (fun _ l acc -> Lsn.min l acc) dpt Int64.max_int in
+  if not (Int64.equal redo_start Int64.max_int) then
+    Log_manager.iter_from log redo_start (fun record ->
+        match record.Log_record.ext with
+        | "" -> ()
+        | name ->
+          let (Ext.Packed ext) = ext_for name in
+          redo_payload_txn db ext ~txn:record.Log_record.txn ~lsn:record.Log_record.lsn
+            record.Log_record.payload);
+  (* --- Undo losers --- *)
+  Hashtbl.iter
+    (fun tid (status, last_lsn) ->
+      match status with
+      | Log_record.Committed ->
+        let txn = Txn_manager.restore_txn txns tid ~status ~last_lsn in
+        Txn_manager.mark_committed txns tid;
+        Txn_manager.finish_txn txns txn
+      | Log_record.Active | Log_record.Aborting ->
+        let txn = Txn_manager.restore_txn txns tid ~status ~last_lsn in
+        Logs.debug (fun m -> m "restart: rolling back loser %a" Txn_id.pp tid);
+        Txn_manager.abort_for_restart txns txn)
+    table;
+  (* Bound future restarts. *)
+  Db.checkpoint db;
+  Gist_wal.Log_manager.force_all log
+
+let restart db ext = restart_multi db [ Ext.Packed ext ]

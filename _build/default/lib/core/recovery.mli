@@ -1,0 +1,42 @@
+(** Restart recovery (§9).
+
+    ARIES-style three-pass restart over the durable log:
+
+    - {b Analysis}: from the last checkpoint anchor, rebuild the
+      transaction table, the dirty page table, and the page allocator.
+    - {b Redo}: repeat history from the earliest recovery LSN — every
+      record (including CLRs) is re-applied page-oriented, conditional on
+      the page LSN, so redo is idempotent across repeated crashes.
+    - {b Undo}: roll back loser transactions through the installed undo
+      handler, which performs logical undo for leaf records (rightlink
+      relocation) and page-oriented undo for interrupted structure
+      modifications, writing CLRs throughout. Per §9.2, no structure
+      modifications are executed during restart undo.
+
+    [redo_payload] is exposed for unit tests (T1: each Table 1 redo action
+    is exercised in isolation) and for the undo handler's CLR actions. *)
+
+val redo_payload :
+  Db.t -> 'p Ext.t -> lsn:Gist_wal.Lsn.t -> Gist_wal.Log_record.payload -> unit
+(** Apply one record's redo action, conditional on each touched page's LSN.
+    Allocator effects (Get/Free-Page) are applied unconditionally (they are
+    idempotent set operations on volatile state). *)
+
+val install : Db.t -> unit
+(** Register the undo handler on the environment's transaction manager; it
+    dispatches each record through the {!Db.find_ext} registry. Called by
+    [Gist.create]/[open_existing] and by restart. *)
+
+val undo_record : Db.t -> 'p Ext.t -> Gist_txn.Txn_manager.txn -> Gist_wal.Log_record.t -> unit
+(** Apply the compensating action for one record (logical for leaf
+    entries, page-oriented for structure modifications), logging a CLR. *)
+
+val restart_multi : Db.t -> Ext.packed list -> unit
+(** Run full restart recovery on a freshly [Db.crash]ed environment
+    containing trees of the given access methods. On return the trees are
+    consistent and reflect exactly the committed transactions; a fresh
+    checkpoint has been taken. *)
+
+val restart : Db.t -> 'p Ext.t -> unit
+(** [restart db ext] = [restart_multi db [Ext.Packed ext]] — the common
+    single-access-method case. *)

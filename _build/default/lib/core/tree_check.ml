@@ -1,0 +1,97 @@
+open Gist_util
+module Page_id = Gist_storage.Page_id
+module Rid = Gist_storage.Rid
+module Latch = Gist_storage.Latch
+module Lsn = Gist_wal.Lsn
+
+type report = { violations : string list; nodes : int; entries : int }
+
+let ok r = r.violations = []
+
+let pp ppf r =
+  if ok r then Format.fprintf ppf "tree ok: %d nodes, %d leaf entries" r.nodes r.entries
+  else begin
+    Format.fprintf ppf "@[<v>tree check FAILED (%d nodes, %d entries):" r.nodes r.entries;
+    List.iter (fun v -> Format.fprintf ppf "@,- %s" v) r.violations;
+    Format.fprintf ppf "@]"
+  end
+
+let check t =
+  let ext = Gist.ext t in
+  let db = Gist.db t in
+  let violations = ref [] in
+  let nodes = ref 0 in
+  let entries = ref 0 in
+  let seen_rids : (Rid.t, Page_id.t) Hashtbl.t = Hashtbl.create 1024 in
+  let bad fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  let global = Db.global_nsn db in
+  let read pid =
+    Gist_storage.Buffer_pool.with_page db.Db.pool pid Latch.S (fun frame ->
+        Node.read ext frame)
+  in
+  (* Returns all leaf keys in the subtree, checking as it goes. *)
+  let rec walk pid ~expected_level ~expected_bp =
+    let node = read pid in
+    incr nodes;
+    if node.Node.level <> expected_level then
+      bad "%a: level %d, expected %d (unbalanced)" Page_id.pp pid node.Node.level expected_level;
+    if Lsn.( < ) global node.Node.nsn then
+      bad "%a: NSN %a exceeds global counter %a" Page_id.pp pid Lsn.pp node.Node.nsn Lsn.pp
+        global;
+    ignore expected_bp;
+    if Page_id.is_valid node.Node.rightlink then begin
+      match read node.Node.rightlink with
+      | sibling ->
+        if sibling.Node.level <> node.Node.level then
+          bad "%a: rightlink %a crosses levels (%d -> %d)" Page_id.pp pid Page_id.pp
+            node.Node.rightlink node.Node.level sibling.Node.level
+      | exception Codec.Corrupt _ ->
+        (* Dangling rightlink to a retired node: unreachable by protocol. *)
+        ()
+    end;
+    match node.Node.entries with
+    | Node.Leaf d ->
+      Dyn.iter
+        (fun e ->
+          incr entries;
+          (* Only live entries partition the RID set: a committed logical
+             delete followed by reinsertion leaves a marked twin until GC. *)
+          (if not (Gist_util.Txn_id.is_some e.Node.le_deleter) then
+             match Hashtbl.find_opt seen_rids e.Node.le_rid with
+             | Some other ->
+               bad "%a: live RID %a already on leaf %a (leaves must partition RIDs)" Page_id.pp
+                 pid Rid.pp e.Node.le_rid Page_id.pp other
+             | None -> Hashtbl.replace seen_rids e.Node.le_rid pid);
+          if not (ext.Ext.consistent e.Node.le_key node.Node.bp) then
+            bad "%a: key %a not consistent with own BP %a" Page_id.pp pid ext.Ext.pp
+              e.Node.le_key ext.Ext.pp node.Node.bp)
+        d;
+      Dyn.fold (fun acc e -> e.Node.le_key :: acc) [] d
+    | Node.Internal d ->
+      if Dyn.is_empty d then bad "%a: internal node with no entries" Page_id.pp pid;
+      let keys =
+        Dyn.fold
+          (fun acc e ->
+            let keys =
+              walk e.Node.ie_child ~expected_level:(node.Node.level - 1)
+                ~expected_bp:(Some e.Node.ie_bp)
+            in
+            List.iter
+              (fun k ->
+                if not (ext.Ext.consistent k e.Node.ie_bp) then
+                  bad "%a: key %a under child %a escapes entry BP %a" Page_id.pp pid ext.Ext.pp
+                    k Page_id.pp e.Node.ie_child ext.Ext.pp e.Node.ie_bp)
+              keys;
+            keys @ acc)
+          [] d
+      in
+      List.iter
+        (fun k ->
+          if not (ext.Ext.consistent k node.Node.bp) then
+            bad "%a: key %a under node escapes header BP %a" Page_id.pp pid ext.Ext.pp k
+              ext.Ext.pp node.Node.bp)
+        keys;
+      keys
+  in
+  ignore (walk (Gist.root t) ~expected_level:(Gist.height t - 1) ~expected_bp:None);
+  { violations = List.rev !violations; nodes = !nodes; entries = !entries }

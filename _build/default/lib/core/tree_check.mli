@@ -1,0 +1,25 @@
+(** Offline tree invariant checker.
+
+    Used after stress runs and crash recovery to verify the structural
+    invariants the paper's protocol must preserve:
+
+    - every leaf key is consistent with the bounding predicate of every
+      ancestor entry on its path (the GiST containment invariant);
+    - every child's header BP equals its parent entry's BP;
+    - levels decrease by exactly one per edge and all leaves sit at
+      level 0 (balance);
+    - NSNs never exceed the current global counter;
+    - no RID appears on more than one leaf (leaves partition the RID set);
+    - rightlinks at each level point to nodes of the same level (links to
+      freed pages are tolerated and reported separately: they are
+      unreachable by the protocol — see DESIGN.md on node deletion).
+
+    Run single-threaded with the tree quiescent. *)
+
+type report = { violations : string list; nodes : int; entries : int }
+
+val check : 'p Gist.t -> report
+
+val ok : report -> bool
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Clock Domain Float Gist_core Gist_txn Gist_util List Stats Xoshiro

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Gist_core Gist_txn Gist_util

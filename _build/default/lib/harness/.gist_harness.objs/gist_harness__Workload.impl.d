@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Atomic Gist_ams Gist_core Gist_storage Gist_txn Gist_util Xoshiro

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Gist_ams Gist_core Gist_storage Gist_txn Gist_util

@@ -1,0 +1,59 @@
+open Gist_util
+
+type stats = {
+  ops : int;
+  aborts : int;
+  elapsed_s : float;
+  throughput : float;
+  latency : Stats.Histogram.t;
+}
+
+type worker_acc = { mutable w_ops : int; mutable w_aborts : int; w_lat : Stats.Histogram.t }
+
+let run_generic ~domains ~duration_s ~seed body =
+  let master = Xoshiro.create seed in
+  let streams = Array.init domains (fun _ -> Xoshiro.split master) in
+  let start = Clock.now_ns () in
+  let deadline_ns = start + int_of_float (duration_s *. 1e9) in
+  let accs = Array.init domains (fun _ -> { w_ops = 0; w_aborts = 0; w_lat = Stats.Histogram.create () }) in
+  let workers =
+    List.init domains (fun w ->
+        Domain.spawn (fun () ->
+            let rng = streams.(w) in
+            let acc = accs.(w) in
+            while Clock.now_ns () < deadline_ns do
+              let t0 = Clock.now_ns () in
+              let aborts = body ~worker:w ~rng in
+              acc.w_aborts <- acc.w_aborts + aborts;
+              acc.w_ops <- acc.w_ops + 1;
+              Stats.Histogram.add acc.w_lat (Float.of_int (Clock.now_ns () - t0) /. 1e9)
+            done))
+  in
+  List.iter Domain.join workers;
+  let elapsed_s = Clock.elapsed_s start in
+  let ops = Array.fold_left (fun n a -> n + a.w_ops) 0 accs in
+  let aborts = Array.fold_left (fun n a -> n + a.w_aborts) 0 accs in
+  let latency =
+    Array.fold_left (fun h a -> Stats.Histogram.merge h a.w_lat) (Stats.Histogram.create ()) accs
+  in
+  { ops; aborts; elapsed_s; throughput = Float.of_int ops /. elapsed_s; latency }
+
+let run ~domains ~duration_s ~seed body =
+  run_generic ~domains ~duration_s ~seed (fun ~worker ~rng ->
+      body ~worker ~rng;
+      0)
+
+let run_txn_ops ~db ~domains ~duration_s ~seed body =
+  let txns = db.Gist_core.Db.txns in
+  run_generic ~domains ~duration_s ~seed (fun ~worker ~rng ->
+      let rec attempt aborts =
+        let txn = Gist_txn.Txn_manager.begin_txn txns in
+        match body ~worker ~rng ~txn with
+        | () ->
+          Gist_txn.Txn_manager.commit txns txn;
+          aborts
+        | exception Gist_txn.Lock_manager.Deadlock _ ->
+          Gist_txn.Txn_manager.abort txns txn;
+          if aborts > 50 then aborts else attempt (aborts + 1)
+      in
+      attempt 0)

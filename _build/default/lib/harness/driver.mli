@@ -1,0 +1,33 @@
+(** Multi-domain workload driver.
+
+    Spawns worker domains that repeatedly call an operation body until a
+    wall-clock deadline, with per-worker deterministic RNG streams and
+    deadlock-abort-retry handling, and aggregates throughput/latency. *)
+
+type stats = {
+  ops : int;
+  aborts : int;
+  elapsed_s : float;
+  throughput : float;  (** Committed operations per second (all workers). *)
+  latency : Gist_util.Stats.Histogram.t;  (** Per-operation seconds. *)
+}
+
+val run :
+  domains:int ->
+  duration_s:float ->
+  seed:int ->
+  (worker:int -> rng:Gist_util.Xoshiro.t -> unit) ->
+  stats
+(** [run ~domains ~duration_s ~seed body] calls [body] in a loop from each
+    worker domain until the deadline. Each call is timed; exceptions from
+    [body] abort the measurement. *)
+
+val run_txn_ops :
+  db:Gist_core.Db.t ->
+  domains:int ->
+  duration_s:float ->
+  seed:int ->
+  (worker:int -> rng:Gist_util.Xoshiro.t -> txn:Gist_txn.Txn_manager.txn -> unit) ->
+  stats
+(** Like {!run} but wraps each call in its own transaction, committing on
+    success and aborting + retrying (counted) on deadlock. *)

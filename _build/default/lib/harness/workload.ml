@@ -1,0 +1,78 @@
+open Gist_util
+module B = Gist_ams.Btree_ext
+module R = Gist_ams.Rtree_ext
+module Rid = Gist_storage.Rid
+module Gist = Gist_core.Gist
+module Txn = Gist_txn.Txn_manager
+
+(* Worker-local insertion counters so generated keys/RIDs never collide
+   across workers without coordination. *)
+let counters = Array.init 64 (fun _ -> Atomic.make 0)
+
+module Btree = struct
+  type op = Search of B.t | Insert of B.t * Rid.t | Delete of B.t * Rid.t
+
+  let rid_of_key ~worker k = Rid.make ~page:(100 + worker) ~slot:k
+
+  let preload db t ~n =
+    let txn = Txn.begin_txn db.Gist_core.Db.txns in
+    for k = 0 to n - 1 do
+      Gist.insert t txn ~key:(B.key k) ~rid:(rid_of_key ~worker:0 k)
+    done;
+    Txn.commit db.Gist_core.Db.txns txn
+
+  let mixed ~worker ~space ~read_pct ~scan_width ~theta rng =
+    let skewed_key () =
+      if theta > 0.0 then Xoshiro.zipf rng ~n:space ~theta else Xoshiro.int rng space
+    in
+    let dice = Xoshiro.int rng 100 in
+    if dice < read_pct then begin
+      let lo = skewed_key () in
+      Search (B.range lo (lo + scan_width))
+    end
+    else if Xoshiro.bool rng || Atomic.get counters.(worker land 63) = 0 then begin
+      (* Fresh worker-namespaced key: space + worker stripe. *)
+      let seq = Atomic.fetch_and_add counters.(worker land 63) 1 in
+      let k = space + (worker * 10_000_000) + seq in
+      Insert (B.key k, rid_of_key ~worker k)
+    end
+    else begin
+      let seq = Xoshiro.int rng (Atomic.get counters.(worker land 63)) in
+      let k = space + (worker * 10_000_000) + seq in
+      Delete (B.key k, rid_of_key ~worker k)
+    end
+
+  let apply t txn = function
+    | Search q -> ignore (Gist.search t txn q)
+    | Insert (k, rid) -> Gist.insert t txn ~key:k ~rid
+    | Delete (k, rid) -> ignore (Gist.delete t txn ~key:k ~rid)
+end
+
+module Rtree = struct
+  type op = Search of R.t | Insert of R.t * Rid.t
+
+  let preload db t ~n ~extent ~seed =
+    let rng = Xoshiro.create seed in
+    let txn = Txn.begin_txn db.Gist_core.Db.txns in
+    for i = 0 to n - 1 do
+      let x = Xoshiro.float rng extent and y = Xoshiro.float rng extent in
+      Gist.insert t txn ~key:(R.point x y) ~rid:(Rid.make ~page:100 ~slot:i)
+    done;
+    Txn.commit db.Gist_core.Db.txns txn
+
+  let mixed ~worker ~extent ~read_pct ~window rng =
+    if Xoshiro.int rng 100 < read_pct then begin
+      let x = Xoshiro.float rng (extent -. window) in
+      let y = Xoshiro.float rng (extent -. window) in
+      Search (R.rect x y (x +. window) (y +. window))
+    end
+    else begin
+      let seq = Atomic.fetch_and_add counters.(worker land 63) 1 in
+      let x = Xoshiro.float rng extent and y = Xoshiro.float rng extent in
+      Insert (R.point x y, Rid.make ~page:(200 + worker) ~slot:seq)
+    end
+
+  let apply t txn = function
+    | Search q -> ignore (Gist.search t txn q)
+    | Insert (k, rid) -> Gist.insert t txn ~key:k ~rid
+end

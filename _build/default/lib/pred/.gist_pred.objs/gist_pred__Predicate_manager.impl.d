@@ -1,0 +1,1 @@
+lib/pred/predicate_manager.ml: Dyn Gist_storage Gist_util Hashtbl List Mutex Txn_id

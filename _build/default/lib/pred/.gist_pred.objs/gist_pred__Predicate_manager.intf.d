@@ -1,0 +1,1 @@
+lib/pred/predicate_manager.mli: Gist_storage Gist_util

@@ -1,0 +1,149 @@
+open Gist_util
+module Page_id = Gist_storage.Page_id
+
+type kind = Scan | Insert | Probe
+
+type 'p pred = {
+  pred_id : int;
+  p_owner : Txn_id.t;
+  p_kind : kind;
+  p_formula : 'p;
+  nodes : (int, unit) Hashtbl.t; (* node attachments of this predicate *)
+}
+
+type 'p t = {
+  mutex : Mutex.t;
+  by_txn : (Txn_id.t, 'p pred list ref) Hashtbl.t;
+  by_node : (int, 'p pred Dyn.t) Hashtbl.t; (* FIFO attachment order *)
+  mutable next_id : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    by_txn = Hashtbl.create 64;
+    by_node = Hashtbl.create 256;
+    next_id = 1;
+  }
+
+let register t ~owner ~kind formula =
+  Mutex.lock t.mutex;
+  let p =
+    {
+      pred_id = t.next_id;
+      p_owner = owner;
+      p_kind = kind;
+      p_formula = formula;
+      nodes = Hashtbl.create 8;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  let lst =
+    match Hashtbl.find_opt t.by_txn owner with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.by_txn owner l;
+      l
+  in
+  lst := p :: !lst;
+  Mutex.unlock t.mutex;
+  p
+
+let owner p = p.p_owner
+
+let formula p = p.p_formula
+
+let kind_of p = p.p_kind
+
+let node_list t pid =
+  match Hashtbl.find_opt t.by_node pid with
+  | Some d -> d
+  | None ->
+    let d = Dyn.create () in
+    Hashtbl.replace t.by_node pid d;
+    d
+
+let attach_locked t p pid =
+  let pid = Page_id.to_int pid in
+  if not (Hashtbl.mem p.nodes pid) then begin
+    Hashtbl.replace p.nodes pid ();
+    Dyn.push (node_list t pid) p
+  end
+
+let attach t p pid =
+  Mutex.lock t.mutex;
+  attach_locked t p pid;
+  Mutex.unlock t.mutex
+
+let attached t pid =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.by_node (Page_id.to_int pid) with
+    | Some d -> Dyn.to_list d
+    | None -> []
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let is_attached t p pid =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.mem p.nodes (Page_id.to_int pid) in
+  Mutex.unlock t.mutex;
+  r
+
+let detach_everywhere t p =
+  Hashtbl.iter
+    (fun pid () ->
+      match Hashtbl.find_opt t.by_node pid with
+      | Some d ->
+        Dyn.filter_in_place (fun q -> q.pred_id <> p.pred_id) d;
+        if Dyn.is_empty d then Hashtbl.remove t.by_node pid
+      | None -> ())
+    p.nodes;
+  Hashtbl.reset p.nodes
+
+let remove_pred t p =
+  Mutex.lock t.mutex;
+  detach_everywhere t p;
+  (match Hashtbl.find_opt t.by_txn p.p_owner with
+  | Some lst -> lst := List.filter (fun q -> q.pred_id <> p.pred_id) !lst
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let remove_txn t owner =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.by_txn owner with
+  | Some lst ->
+    List.iter (detach_everywhere t) !lst;
+    Hashtbl.remove t.by_txn owner
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let replicate t ~src ~dst ~keep =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.by_node (Page_id.to_int src) with
+  | Some d ->
+    (* Iterate over a snapshot: attach_locked mutates the dst list, and
+       src = dst must not loop. *)
+    List.iter (fun p -> if keep p then attach_locked t p dst) (Dyn.to_list d)
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let predicates_of t owner =
+  Mutex.lock t.mutex;
+  let r = match Hashtbl.find_opt t.by_txn owner with Some l -> !l | None -> [] in
+  Mutex.unlock t.mutex;
+  r
+
+let total_attachments t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.fold (fun _ d acc -> acc + Dyn.length d) t.by_node 0 in
+  Mutex.unlock t.mutex;
+  n
+
+let total_predicates t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.by_txn 0 in
+  Mutex.unlock t.mutex;
+  n

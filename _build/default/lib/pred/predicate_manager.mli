@@ -1,0 +1,68 @@
+(** Predicate manager (§10.3).
+
+    The second half of the paper's hybrid locking mechanism: search
+    operations attach their search predicates directly to the nodes they
+    visit, and insert operations check only the predicates attached to
+    their target leaf. This component maintains the three §10.3 data
+    structures — predicates per transaction, node attachments per
+    predicate, predicates per node — with the per-node lists kept in FIFO
+    attachment order so that fairness can be enforced (a new predicate is
+    checked against those *ahead* of it).
+
+    It is generic in the predicate formula type ['p]; conflict testing is
+    the caller's job (it applies the access method's [consistent]). Blocking
+    "on a predicate" is also the caller's job, via an S lock on the owner's
+    transaction id in the lock manager.
+
+    Thread-safe. Callers attach/check while holding the node's latch, which
+    serializes attachment order with respect to node content changes. *)
+
+type kind =
+  | Scan  (** A search operation's predicate, protects its whole range. *)
+  | Insert  (** An insert's key, attached for FIFO fairness (§10.3). *)
+  | Probe  (** A unique-insert "= key" predicate, released at operation end (§8). *)
+
+type 'p pred
+
+type 'p t
+
+val create : unit -> 'p t
+
+val register : 'p t -> owner:Gist_util.Txn_id.t -> kind:kind -> 'p -> 'p pred
+
+val owner : 'p pred -> Gist_util.Txn_id.t
+val formula : 'p pred -> 'p
+val kind_of : 'p pred -> kind
+
+val attach : 'p t -> 'p pred -> Gist_storage.Page_id.t -> unit
+(** Idempotent: attaching twice to the same node is a no-op. *)
+
+val attached : 'p t -> Gist_storage.Page_id.t -> 'p pred list
+(** Predicates attached to the node, oldest first (FIFO). *)
+
+val is_attached : 'p t -> 'p pred -> Gist_storage.Page_id.t -> bool
+
+val remove_pred : 'p t -> 'p pred -> unit
+(** Detach from every node and forget (unique-insert probes at op end). *)
+
+val remove_txn : 'p t -> Gist_util.Txn_id.t -> unit
+(** Drop all of a transaction's predicates (end-of-transaction hook). *)
+
+val replicate :
+  'p t ->
+  src:Gist_storage.Page_id.t ->
+  dst:Gist_storage.Page_id.t ->
+  keep:('p pred -> bool) ->
+  unit
+(** Attach to [dst] every predicate attached to [src] that satisfies
+    [keep] — used both when a split creates a new sibling (filter: pred
+    consistent with the sibling's BP) and when BP expansion percolates
+    ancestor predicates down to a child (§4.3). *)
+
+val predicates_of : 'p t -> Gist_util.Txn_id.t -> 'p pred list
+
+val total_attachments : 'p t -> int
+(** Number of (predicate, node) attachment pairs currently live — the
+    working-set size a pure predicate-locking scheme would scan. *)
+
+val total_predicates : 'p t -> int

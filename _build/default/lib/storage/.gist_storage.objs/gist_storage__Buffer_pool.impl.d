@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Array Atomic Bytes Condition Disk Hashtbl Latch List Mutex Page_id

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Array Atomic Bytes Float Mutex Page_id Printf Unix

@@ -1,0 +1,1 @@
+lib/storage/page_id.ml: Format Gist_util Hashtbl Int

@@ -1,0 +1,1 @@
+lib/storage/page_id.mli: Buffer Format Gist_util

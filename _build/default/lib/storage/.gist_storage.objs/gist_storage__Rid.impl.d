@@ -1,0 +1,1 @@
+lib/storage/rid.ml: Format Gist_util Hashtbl Int

@@ -1,0 +1,282 @@
+type frame = {
+  mutable pid : Page_id.t;
+  mutable image : Bytes.t;
+  mutable dirty : bool;
+  mutable rec_lsn : int64; (* LSN that first dirtied the page; -1L if clean *)
+  mutable pin_count : int;
+  mutable loading : bool;
+  mutable last_used : int;
+  frame_latch : Latch.t;
+}
+
+(* Sharded by page id: pin/unpin contend only within a shard. Each shard
+   owns capacity/n_shards frames; eviction is shard-local. *)
+type shard = {
+  mutex : Mutex.t;
+  changed : Condition.t;
+  table : (int, frame) Hashtbl.t;
+  mutable frames : frame list;
+  capacity : int;
+}
+
+type t = {
+  shards : shard array;
+  disk : Disk.t;
+  force_log : int64 -> unit;
+  tick : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  io_latched : int Atomic.t;
+}
+
+let n_shards = 16
+
+let create ~capacity ~disk ~force_log =
+  if capacity < 4 then invalid_arg "Buffer_pool.create: capacity < 4";
+  let per_shard = max 2 (capacity / n_shards) in
+  {
+    shards =
+      Array.init n_shards (fun _ ->
+          {
+            mutex = Mutex.create ();
+            changed = Condition.create ();
+            table = Hashtbl.create (2 * per_shard);
+            frames = [];
+            capacity = per_shard;
+          });
+    disk;
+    force_log;
+    tick = Atomic.make 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    io_latched = Atomic.make 0;
+  }
+
+let shard t pid = t.shards.(Page_id.to_int pid land (n_shards - 1))
+
+let disk t = t.disk
+
+let latch f = f.frame_latch
+
+let data f = f.image
+
+let page_id f = f.pid
+
+let header_lsn image = Bytes.get_int64_le image 0
+
+let page_lsn f = header_lsn f.image
+
+let touch t f = f.last_used <- Atomic.fetch_and_add t.tick 1
+
+(* Least-recently-used unpinned, non-loading frame of the shard. Shard
+   mutex held. *)
+let find_victim s =
+  let best = ref None in
+  List.iter
+    (fun f ->
+      if f.pin_count = 0 && not f.loading then
+        match !best with
+        | Some b when b.last_used <= f.last_used -> ()
+        | _ -> best := Some f)
+    s.frames;
+  !best
+
+let note_io t = if Latch.held_by_self () > 0 then Atomic.incr t.io_latched
+
+(* Write a dirty victim image back, honoring the WAL rule. Called without
+   the shard mutex; the frame is protected by its [loading] flag. *)
+let write_back t pid image =
+  t.force_log (header_lsn image);
+  Disk.write t.disk pid image
+
+let rec pin_general t pid ~read_from_disk =
+  let s = shard t pid in
+  Mutex.lock s.mutex;
+  match Hashtbl.find_opt s.table (Page_id.to_int pid) with
+  | Some f when f.loading ->
+    Condition.wait s.changed s.mutex;
+    Mutex.unlock s.mutex;
+    pin_general t pid ~read_from_disk
+  | Some f ->
+    f.pin_count <- f.pin_count + 1;
+    touch t f;
+    Mutex.unlock s.mutex;
+    Atomic.incr t.hits;
+    f
+  | None ->
+    Atomic.incr t.misses;
+    if List.length s.frames < s.capacity then begin
+      let f =
+        {
+          pid;
+          image = Bytes.make (Disk.page_size t.disk) '\000';
+          dirty = false;
+          rec_lsn = -1L;
+          pin_count = 1;
+          loading = true;
+          last_used = 0;
+          frame_latch = Latch.create ();
+        }
+      in
+      touch t f;
+      s.frames <- f :: s.frames;
+      Hashtbl.replace s.table (Page_id.to_int pid) f;
+      Mutex.unlock s.mutex;
+      if read_from_disk then begin
+        note_io t;
+        f.image <- Disk.read t.disk pid
+      end;
+      Mutex.lock s.mutex;
+      f.loading <- false;
+      Condition.broadcast s.changed;
+      Mutex.unlock s.mutex;
+      f
+    end
+    else begin
+      match find_victim s with
+      | None ->
+        Condition.wait s.changed s.mutex;
+        Mutex.unlock s.mutex;
+        pin_general t pid ~read_from_disk
+      | Some victim ->
+        Atomic.incr t.evictions;
+        let old_pid = victim.pid in
+        let old_dirty = victim.dirty in
+        let old_image = victim.image in
+        (* Phase 1: write the dirty image back while the frame is still
+           registered under its old id in [loading] state — a concurrent
+           pin of the old page waits instead of re-reading stale disk
+           content before the write-back lands. The new id is claimed
+           immediately (same frame, also loading) so a racing pin of it
+           cannot create a duplicate frame. *)
+        victim.loading <- true;
+        victim.pin_count <- 1;
+        Hashtbl.replace s.table (Page_id.to_int pid) victim;
+        Mutex.unlock s.mutex;
+        if old_dirty then begin
+          note_io t;
+          write_back t old_pid old_image
+        end;
+        (* Phase 2: rebind the frame to the new page id. *)
+        Mutex.lock s.mutex;
+        Hashtbl.remove s.table (Page_id.to_int old_pid);
+        victim.pid <- pid;
+        victim.dirty <- false;
+        victim.rec_lsn <- -1L;
+        victim.image <- Bytes.make (Disk.page_size t.disk) '\000';
+        touch t victim;
+        Hashtbl.replace s.table (Page_id.to_int pid) victim;
+        Condition.broadcast s.changed;
+        Mutex.unlock s.mutex;
+        if read_from_disk then begin
+          note_io t;
+          victim.image <- Disk.read t.disk pid
+        end;
+        Mutex.lock s.mutex;
+        victim.loading <- false;
+        Condition.broadcast s.changed;
+        Mutex.unlock s.mutex;
+        victim
+    end
+
+let pin t pid = pin_general t pid ~read_from_disk:true
+
+let pin_new t pid = pin_general t pid ~read_from_disk:false
+
+let unpin t f =
+  let s = shard t f.pid in
+  Mutex.lock s.mutex;
+  assert (f.pin_count > 0);
+  f.pin_count <- f.pin_count - 1;
+  if f.pin_count = 0 then Condition.broadcast s.changed;
+  Mutex.unlock s.mutex
+
+let mark_dirty t f ~lsn =
+  Bytes.set_int64_le f.image 0 lsn;
+  let s = shard t f.pid in
+  Mutex.lock s.mutex;
+  if not f.dirty then begin
+    f.dirty <- true;
+    f.rec_lsn <- lsn
+  end;
+  Mutex.unlock s.mutex
+
+let with_page t pid mode f =
+  let frame = pin t pid in
+  let finish v_or_exn =
+    Latch.release frame.frame_latch mode;
+    unpin t frame;
+    match v_or_exn with Ok v -> v | Error e -> raise e
+  in
+  Latch.acquire frame.frame_latch mode;
+  match f frame with v -> finish (Ok v) | exception e -> finish (Error e)
+
+let flush_frame t s f =
+  Latch.acquire f.frame_latch S;
+  let need_write = f.dirty in
+  let image = if need_write then Bytes.copy f.image else Bytes.empty in
+  let pid = f.pid in
+  if need_write then begin
+    Mutex.lock s.mutex;
+    f.dirty <- false;
+    f.rec_lsn <- -1L;
+    Mutex.unlock s.mutex
+  end;
+  Latch.release f.frame_latch S;
+  if need_write then write_back t pid image
+
+let flush_page t pid =
+  let s = shard t pid in
+  Mutex.lock s.mutex;
+  let f = Hashtbl.find_opt s.table (Page_id.to_int pid) in
+  Mutex.unlock s.mutex;
+  match f with
+  | Some f when not f.loading -> flush_frame t s f
+  | _ -> ()
+
+let flush_all t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mutex;
+      let frames = s.frames in
+      Mutex.unlock s.mutex;
+      List.iter (fun f -> if f.dirty && not f.loading then flush_frame t s f) frames)
+    t.shards
+
+let dirty_page_table t =
+  Array.to_list t.shards
+  |> List.concat_map (fun s ->
+         Mutex.lock s.mutex;
+         let dpt =
+           List.filter_map
+             (fun f -> if f.dirty && not f.loading then Some (f.pid, f.rec_lsn) else None)
+             s.frames
+         in
+         Mutex.unlock s.mutex;
+         dpt)
+
+let drop_all t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mutex;
+      Hashtbl.reset s.table;
+      s.frames <- [];
+      Condition.broadcast s.changed;
+      Mutex.unlock s.mutex)
+    t.shards
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let evictions t = Atomic.get t.evictions
+
+let io_while_latched t = Atomic.get t.io_latched
+
+let reset_stats t =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.evictions 0;
+  Atomic.set t.io_latched 0

@@ -1,0 +1,76 @@
+(** Buffer pool.
+
+    Caches page images in fixed-capacity frames, each protected by a
+    reader–writer {!Latch.t}. Implements the WAL constraint: before a dirty
+    page is written to disk (eviction or checkpoint flush), the log is
+    forced up to that page's LSN via the [force_log] callback.
+
+    Page-image convention: bytes [0..7] of every page hold its page LSN
+    (little-endian), written by whoever formats the page. The pool reads it
+    when flushing and to maintain the dirty page table.
+
+    Disk I/O (both the read on a miss and the write-back of an evicted
+    dirty page) happens outside the pool's internal mutex and outside any
+    frame latch held by the caller, which is what makes the paper's
+    "no latches held during I/Os" property hold at this layer. The counter
+    {!io_while_latched} records violations by callers (operations that pin
+    a non-resident page while holding a latch) — the GiST protocol keeps it
+    at zero; coarse baselines do not. *)
+
+type t
+
+type frame
+
+val create : capacity:int -> disk:Disk.t -> force_log:(int64 -> unit) -> t
+
+val disk : t -> Disk.t
+
+val pin : t -> Page_id.t -> frame
+(** Fault the page in if needed and pin it. The frame cannot be evicted
+    until unpinned. Blocks if all frames are pinned. *)
+
+val pin_new : t -> Page_id.t -> frame
+(** Pin a freshly allocated page without reading the disk (its image starts
+    zeroed). Used right after page allocation. *)
+
+val unpin : t -> frame -> unit
+
+val latch : frame -> Latch.t
+val data : frame -> Bytes.t
+(** The in-pool page image. Mutate only while holding the X latch. *)
+
+val page_id : frame -> Page_id.t
+
+val mark_dirty : t -> frame -> lsn:int64 -> unit
+(** Record that the caller (holding the X latch) modified the page under a
+    log record with sequence number [lsn]. Also stores [lsn] in the page
+    header bytes. *)
+
+val page_lsn : frame -> int64
+(** The LSN in the page header. *)
+
+val with_page :
+  t -> Page_id.t -> Latch.mode -> (frame -> 'a) -> 'a
+(** [with_page t pid mode f]: pin, latch, run [f], unlatch, unpin. *)
+
+val flush_page : t -> Page_id.t -> unit
+(** Force the page to disk if resident and dirty (forcing the log first). *)
+
+val flush_all : t -> unit
+(** Flush every dirty resident page; used by checkpoints and clean
+    shutdown. *)
+
+val dirty_page_table : t -> (Page_id.t * int64) list
+(** [(pid, rec_lsn)] for every dirty resident page — the ARIES DPT recorded
+    in checkpoints. [rec_lsn] is the LSN that first dirtied the page. *)
+
+val drop_all : t -> unit
+(** Crash simulation: discard every frame without flushing. *)
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val io_while_latched : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,85 @@
+type t = {
+  mutex : Mutex.t;
+  mutable pages : Bytes.t option array;
+  mutable high : int;
+  page_size : int;
+  mutable io_delay_ns : int;
+  reads : int Atomic.t;
+  writes : int Atomic.t;
+}
+
+let create ?(io_delay_ns = 0) ~page_size () =
+  if page_size < 64 then invalid_arg "Disk.create: page_size too small";
+  {
+    mutex = Mutex.create ();
+    pages = Array.make 64 None;
+    high = 0;
+    page_size;
+    io_delay_ns;
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
+  }
+
+let page_size t = t.page_size
+
+(* The simulated latency *blocks* the calling domain (a sleeping syscall),
+   exactly like a synchronous disk read: other domains keep the CPU. This
+   is what lets a single-CPU host still demonstrate the paper's
+   latches-not-held-across-I/O claim — protocols that overlap I/O waits
+   scale with domains, protocols that hold a latch across the wait do
+   not. *)
+let spin ns = if ns > 0 then Unix.sleepf (Float.of_int ns /. 1e9)
+
+let ensure t pid =
+  let n = Array.length t.pages in
+  if pid >= n then begin
+    let ncap = max (pid + 1) (n * 2) in
+    let npages = Array.make ncap None in
+    Array.blit t.pages 0 npages 0 n;
+    t.pages <- npages
+  end;
+  if pid >= t.high then t.high <- pid + 1
+
+let read t pid =
+  let pid = Page_id.to_int pid in
+  Atomic.incr t.reads;
+  spin t.io_delay_ns;
+  Mutex.lock t.mutex;
+  let img =
+    if pid < Array.length t.pages then
+      match t.pages.(pid) with
+      | Some b -> Bytes.copy b
+      | None -> Bytes.make t.page_size '\000'
+    else Bytes.make t.page_size '\000'
+  in
+  Mutex.unlock t.mutex;
+  img
+
+let write t pid img =
+  let pid = Page_id.to_int pid in
+  if Bytes.length img <> t.page_size then
+    invalid_arg
+      (Printf.sprintf "Disk.write: image is %d bytes, page size is %d" (Bytes.length img)
+         t.page_size);
+  Atomic.incr t.writes;
+  spin t.io_delay_ns;
+  Mutex.lock t.mutex;
+  ensure t pid;
+  t.pages.(pid) <- Some (Bytes.copy img);
+  Mutex.unlock t.mutex
+
+let page_count t =
+  Mutex.lock t.mutex;
+  let n = t.high in
+  Mutex.unlock t.mutex;
+  n
+
+let reads t = Atomic.get t.reads
+
+let writes t = Atomic.get t.writes
+
+let reset_stats t =
+  Atomic.set t.reads 0;
+  Atomic.set t.writes 0
+
+let set_io_delay_ns t ns = t.io_delay_ns <- ns

@@ -1,0 +1,34 @@
+(** Simulated disk.
+
+    A growable array of fixed-size pages holding raw bytes. This is the
+    durable half of the failure model: a crash discards every in-memory
+    structure but keeps the disk image (and the forced log prefix) intact.
+
+    An optional per-operation blocking delay ([io_delay_ns]) models device
+    latency: it suspends only the calling domain, like a synchronous disk
+    read, so protocols that hold latches across I/O pay a measurable
+    price while protocols that release them overlap the waits (claim C1
+    in DESIGN.md) — even on a single-CPU host. Thread-safe. *)
+
+type t
+
+val create : ?io_delay_ns:int -> page_size:int -> unit -> t
+
+val page_size : t -> int
+
+val read : t -> Page_id.t -> Bytes.t
+(** Fresh copy of the page image. A page never written reads as zeros. *)
+
+val write : t -> Page_id.t -> Bytes.t -> unit
+(** [write t pid img] stores a copy of [img] (must be exactly [page_size]
+    bytes). *)
+
+val page_count : t -> int
+(** Number of pages with an id lower than the highest ever written. *)
+
+val reads : t -> int
+val writes : t -> int
+val reset_stats : t -> unit
+
+val set_io_delay_ns : t -> int -> unit
+(** Adjust the simulated latency at runtime (used by parameter sweeps). *)

@@ -1,0 +1,94 @@
+type mode = S | X
+
+type t = {
+  mutex : Mutex.t;
+  readable : Condition.t;
+  writable : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable waiting_writers : int;
+}
+
+let held_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let held () = Domain.DLS.get held_key
+
+let held_by_self () = !(held ())
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    readable = Condition.create ();
+    writable = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let acquire t mode =
+  Mutex.lock t.mutex;
+  (match mode with
+  | S ->
+    while t.writer || t.waiting_writers > 0 do
+      Condition.wait t.readable t.mutex
+    done;
+    t.readers <- t.readers + 1
+  | X ->
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.writable t.mutex
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writer <- true);
+  Mutex.unlock t.mutex;
+  incr (held ())
+
+let release t mode =
+  Mutex.lock t.mutex;
+  (match mode with
+  | S ->
+    t.readers <- t.readers - 1;
+    if t.readers = 0 then
+      if t.waiting_writers > 0 then Condition.signal t.writable
+      else Condition.broadcast t.readable
+  | X ->
+    t.writer <- false;
+    if t.waiting_writers > 0 then Condition.signal t.writable
+    else Condition.broadcast t.readable);
+  Mutex.unlock t.mutex;
+  decr (held ())
+
+let try_acquire t mode =
+  Mutex.lock t.mutex;
+  let ok =
+    match mode with
+    | S ->
+      if t.writer || t.waiting_writers > 0 then false
+      else begin
+        t.readers <- t.readers + 1;
+        true
+      end
+    | X ->
+      if t.writer || t.readers > 0 then false
+      else begin
+        t.writer <- true;
+        true
+      end
+  in
+  Mutex.unlock t.mutex;
+  if ok then incr (held ());
+  ok
+
+let with_latch t mode f =
+  acquire t mode;
+  match f () with
+  | v ->
+    release t mode;
+    v
+  | exception e ->
+    release t mode;
+    raise e
+
+let pp_mode ppf = function
+  | S -> Format.pp_print_string ppf "S"
+  | X -> Format.pp_print_string ppf "X"

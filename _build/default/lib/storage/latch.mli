@@ -1,0 +1,34 @@
+(** Reader–writer latches.
+
+    Latches are the paper's short-duration physical synchronization
+    primitive (§5, footnote 8): addressed physically, cheap to set, never
+    checked for deadlock — holders must keep their usage pattern deadlock
+    free. They protect buffer-pool frames; they are unrelated to the lock
+    manager's transactional locks.
+
+    Writer-preferring: a pending X request blocks new S admissions, so
+    splits are not starved by scan streams.
+
+    The module keeps a per-domain count of held latches so the buffer pool
+    can verify (and the benchmarks can report) the paper's central claim
+    that no latch is ever held across an I/O. *)
+
+type t
+
+type mode = S | X
+
+val create : unit -> t
+
+val acquire : t -> mode -> unit
+val release : t -> mode -> unit
+
+val try_acquire : t -> mode -> bool
+(** Non-blocking acquire; [true] on success. *)
+
+val with_latch : t -> mode -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+val held_by_self : unit -> int
+(** Number of latches currently held by the calling domain (debug/stats). *)
+
+val pp_mode : Format.formatter -> mode -> unit

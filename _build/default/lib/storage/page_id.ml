@@ -1,0 +1,23 @@
+type t = int
+
+let invalid = 0
+
+let of_int i =
+  if i < 0 then invalid_arg "Page_id.of_int: negative";
+  i
+
+let to_int t = t
+
+let is_valid t = t <> invalid
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash = Hashtbl.hash
+
+let pp ppf t = Format.fprintf ppf "P%d" t
+
+let encode b t = Gist_util.Codec.put_i32 b t
+
+let decode r = Gist_util.Codec.get_i32 r

@@ -1,0 +1,17 @@
+(** Page identifiers.
+
+    A page id names a fixed-size page on the simulated disk. Id 0 is
+    reserved as the invalid/null id (used, e.g., for "no rightlink"). *)
+
+type t = private int
+
+val invalid : t
+val of_int : int -> t
+val to_int : t -> int
+val is_valid : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val encode : Buffer.t -> t -> unit
+val decode : Gist_util.Codec.reader -> t

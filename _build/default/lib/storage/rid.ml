@@ -1,0 +1,23 @@
+type t = { page : int; slot : int }
+
+let make ~page ~slot = { page; slot }
+
+let equal a b = a.page = b.page && a.slot = b.slot
+
+let compare a b =
+  match Int.compare a.page b.page with 0 -> Int.compare a.slot b.slot | c -> c
+
+let hash t = Hashtbl.hash (t.page, t.slot)
+
+let pp ppf t = Format.fprintf ppf "R%d.%d" t.page t.slot
+
+let to_string t = Format.asprintf "%a" pp t
+
+let encode b t =
+  Gist_util.Codec.put_i32 b t.page;
+  Gist_util.Codec.put_i32 b t.slot
+
+let decode r =
+  let page = Gist_util.Codec.get_i32 r in
+  let slot = Gist_util.Codec.get_i32 r in
+  { page; slot }

@@ -1,0 +1,17 @@
+(** Record identifiers.
+
+    A RID points at a data record on a (simulated) data page outside the
+    index — the payload side of a leaf's [(key, RID)] pair and the unit of
+    two-phase data record locking (the "data-only locking" approach of
+    ARIES/IM the paper adopts). *)
+
+type t = { page : int; slot : int }
+
+val make : page:int -> slot:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val encode : Buffer.t -> t -> unit
+val decode : Gist_util.Codec.reader -> t

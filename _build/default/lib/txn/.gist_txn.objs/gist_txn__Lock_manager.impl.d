@@ -1,0 +1,1 @@
+lib/txn/lock_manager.ml: Array Atomic Condition Format Gist_storage Gist_util Hashtbl List Mutex Option Txn_id

@@ -1,0 +1,1 @@
+lib/txn/lock_manager.mli: Format Gist_storage Gist_util

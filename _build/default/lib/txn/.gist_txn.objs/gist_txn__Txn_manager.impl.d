@@ -1,0 +1,1 @@
+lib/txn/txn_manager.ml: Gist_util Gist_wal Hashtbl Int64 List Lock_manager Mutex Txn_id

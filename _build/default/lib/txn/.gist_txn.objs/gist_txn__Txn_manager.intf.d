@@ -1,0 +1,1 @@
+lib/txn/txn_manager.mli: Gist_util Gist_wal Lock_manager

@@ -1,0 +1,214 @@
+open Gist_util
+module Lsn = Gist_wal.Lsn
+module Log_record = Gist_wal.Log_record
+module Log_manager = Gist_wal.Log_manager
+
+type txn = {
+  tid : Txn_id.t;
+  mutable last : Lsn.t;
+  mutable begin_lsn : Lsn.t;
+  mutable status : Log_record.status;
+  mutable savepoints : (string * Lsn.t) list;
+}
+
+type t = {
+  log : Log_manager.t;
+  lock_mgr : Lock_manager.t;
+  mutex : Mutex.t;
+  table : (Txn_id.t, txn) Hashtbl.t;
+  committed : (Txn_id.t, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable undo_handler : (txn -> Log_record.t -> unit) option;
+  mutable end_hooks : (Txn_id.t -> unit) list;
+}
+
+let create ~log ~locks =
+  {
+    log;
+    lock_mgr = locks;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    committed = Hashtbl.create 256;
+    next_id = 1;
+    undo_handler = None;
+    end_hooks = [];
+  }
+
+let set_undo_handler t f = t.undo_handler <- Some f
+
+let add_end_hook t f = t.end_hooks <- t.end_hooks @ [ f ]
+
+let locks t = t.lock_mgr
+
+let log t = t.log
+
+let id txn = txn.tid
+
+let last_lsn txn = txn.last
+
+let find t tid =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table tid in
+  Mutex.unlock t.mutex;
+  r
+
+let begin_txn t =
+  Mutex.lock t.mutex;
+  let tid = Txn_id.of_int t.next_id in
+  t.next_id <- t.next_id + 1;
+  Mutex.unlock t.mutex;
+  let lsn = Log_manager.append t.log ~txn:tid ~prev:Lsn.nil Log_record.Begin in
+  let txn = { tid; last = lsn; begin_lsn = lsn; status = Log_record.Active; savepoints = [] } in
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table tid txn;
+  Mutex.unlock t.mutex;
+  Lock_manager.lock t.lock_mgr tid (Lock_manager.Txn tid) Lock_manager.X;
+  txn
+
+let log_update t txn ?(ext = "") payload =
+  let lsn = Log_manager.append t.log ~txn:txn.tid ~prev:txn.last ~ext payload in
+  txn.last <- lsn;
+  lsn
+
+let log_nta = log_update
+
+let begin_nta _t txn = txn.last
+
+let end_nta t txn pre_nta_lsn =
+  ignore
+    (log_update t txn
+       (Log_record.Clr { action = Log_record.Act_none; undo_next = pre_nta_lsn }))
+
+let run_end_hooks t tid = List.iter (fun f -> f tid) t.end_hooks
+
+let drop t txn =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.table txn.tid;
+  Mutex.unlock t.mutex
+
+let commit t txn =
+  let commit_rec = log_update t txn Log_record.Commit in
+  Log_manager.force t.log commit_rec;
+  txn.status <- Log_record.Committed;
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.committed txn.tid ();
+  Mutex.unlock t.mutex;
+  run_end_hooks t txn.tid;
+  ignore (log_update t txn Log_record.End);
+  drop t txn;
+  Lock_manager.release_all t.lock_mgr txn.tid
+
+(* Walk the backchain from [txn.last] down to (exclusive) [stop_at],
+   invoking the undo handler on each undoable record and honoring CLR
+   undo_next jumps so that an undo is never undone. *)
+let undo_chain t txn ~stop_at =
+  let handler =
+    match t.undo_handler with
+    | Some h -> h
+    | None -> invalid_arg "Txn_manager: no undo handler installed"
+  in
+  let rec loop lsn =
+    if Lsn.( <= ) lsn stop_at || Lsn.equal lsn Lsn.nil then ()
+    else
+      match Log_manager.read t.log lsn with
+      | None ->
+        (* Record lost in a crash before being forced: nothing it changed
+           can have reached disk either (WAL rule), so skip past it. *)
+        loop Lsn.nil
+      | Some record -> (
+        match record.Log_record.payload with
+        | Log_record.Clr { undo_next; _ } -> loop undo_next
+        | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.End
+        | Log_record.Checkpoint_begin | Log_record.Checkpoint_end _ ->
+          loop record.Log_record.prev
+        | payload ->
+          if Log_record.is_redo_only payload then loop record.Log_record.prev
+          else begin
+            handler txn record;
+            loop record.Log_record.prev
+          end)
+  in
+  loop txn.last
+
+let abort t txn =
+  txn.status <- Log_record.Aborting;
+  ignore (log_update t txn Log_record.Abort);
+  undo_chain t txn ~stop_at:Lsn.nil;
+  run_end_hooks t txn.tid;
+  ignore (log_update t txn Log_record.End);
+  Log_manager.force t.log txn.last;
+  drop t txn;
+  Lock_manager.release_all t.lock_mgr txn.tid
+
+let savepoint _t txn name = txn.savepoints <- (name, txn.last) :: txn.savepoints
+
+let rollback_to_savepoint t txn name =
+  let lsn = List.assoc name txn.savepoints in
+  undo_chain t txn ~stop_at:lsn;
+  (* Later savepoints are gone; the named one stays reusable. *)
+  let rec trim = function
+    | [] -> []
+    | (n, _) :: _ as l when n = name -> l
+    | _ :: rest -> trim rest
+  in
+  txn.savepoints <- trim txn.savepoints
+
+let is_committed t tid =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.mem t.committed tid in
+  Mutex.unlock t.mutex;
+  r
+
+let is_active t tid =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.mem t.table tid in
+  Mutex.unlock t.mutex;
+  r
+
+let active_txns t =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.fold (fun tid txn acc -> (tid, txn.status, txn.last) :: acc) t.table [] in
+  Mutex.unlock t.mutex;
+  r
+
+let commit_lsn t =
+  Mutex.lock t.mutex;
+  let oldest =
+    Hashtbl.fold
+      (fun _ txn acc -> Lsn.min acc txn.begin_lsn)
+      t.table Int64.max_int
+  in
+  Mutex.unlock t.mutex;
+  if Int64.equal oldest Int64.max_int then
+    Int64.add (Log_manager.last_lsn t.log) 1L
+  else oldest
+
+let restore_txn t tid ~status ~last_lsn =
+  let txn = { tid; last = last_lsn; begin_lsn = Lsn.nil; status; savepoints = [] } in
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table tid txn;
+  if Txn_id.to_int tid >= t.next_id then t.next_id <- Txn_id.to_int tid + 1;
+  Mutex.unlock t.mutex;
+  txn
+
+let mark_committed t tid =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.committed tid ();
+  Mutex.unlock t.mutex
+
+let forget_txn t tid =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.table tid;
+  Mutex.unlock t.mutex
+
+let finish_txn t txn =
+  ignore (log_update t txn Log_record.End);
+  drop t txn
+
+let abort_for_restart t txn =
+  txn.status <- Log_record.Aborting;
+  undo_chain t txn ~stop_at:Lsn.nil;
+  run_end_hooks t txn.tid;
+  ignore (log_update t txn Log_record.End);
+  drop t txn;
+  Lock_manager.release_all t.lock_mgr txn.tid

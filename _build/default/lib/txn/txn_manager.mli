@@ -1,0 +1,97 @@
+(** Transaction manager.
+
+    Owns the transaction table, assigns ids, writes Begin/Commit/Abort/End
+    records, and drives rollback (total or to a savepoint) by walking the
+    transaction's log backchain. The actual compensating page changes are
+    performed by an *undo handler* injected by the index layer
+    ([set_undo_handler]), which applies the inverse of a record, writes the
+    CLR, and returns the CLR's LSN — keeping this module free of any GiST
+    knowledge, as §9 prescribes.
+
+    Every transaction X-locks its own id on start (released at end); the
+    predicate manager uses that to let operations "block on a predicate"
+    by S-locking the owner's id (§10.3).
+
+    Commit forces the log up to the commit record before releasing locks
+    (durability), then writes End. *)
+
+type t
+
+type txn
+
+val create : log:Gist_wal.Log_manager.t -> locks:Lock_manager.t -> t
+
+val set_undo_handler : t -> (txn -> Gist_wal.Log_record.t -> unit) -> unit
+(** [handler txn record] must apply the compensating action for [record]
+    and log the CLR via [log_update]. Required before any abort. *)
+
+val add_end_hook : t -> (Gist_util.Txn_id.t -> unit) -> unit
+(** Called (in registration order) when a transaction commits or finishes
+    aborting, before its locks are released — used to drop predicate
+    attachments. *)
+
+val locks : t -> Lock_manager.t
+val log : t -> Gist_wal.Log_manager.t
+
+val begin_txn : t -> txn
+val id : txn -> Gist_util.Txn_id.t
+val last_lsn : txn -> Gist_wal.Lsn.t
+val find : t -> Gist_util.Txn_id.t -> txn option
+
+val log_update : t -> txn -> ?ext:string -> Gist_wal.Log_record.payload -> Gist_wal.Lsn.t
+(** Append a record owned by [txn] (backchained) and advance its last LSN.
+    For CLRs, the [undo_next] inside the payload governs further undo.
+    [ext] tags the record with its access method for recovery dispatch. *)
+
+val log_nta : t -> txn -> ?ext:string -> Gist_wal.Log_record.payload -> Gist_wal.Lsn.t
+(** Append a record that is part of a nested top action: owned by the
+    transaction for undo-on-crash purposes, but skippable once the NTA is
+    closed with [end_nta]. Identical to [log_update]; the distinction is
+    documentation. *)
+
+val begin_nta : t -> txn -> Gist_wal.Lsn.t
+(** Remember the backchain position; pair with [end_nta]. *)
+
+val end_nta : t -> txn -> Gist_wal.Lsn.t -> unit
+(** Close a nested top action by writing a dummy CLR whose [undo_next]
+    points at the pre-NTA position, making the enclosed records invisible
+    to any later undo ("individually committed atomic unit of work"). *)
+
+val commit : t -> txn -> unit
+val abort : t -> txn -> unit
+
+val savepoint : t -> txn -> string -> unit
+val rollback_to_savepoint : t -> txn -> string -> unit
+(** Undo this transaction's updates back to the savepoint. Locks acquired
+    since are retained (conservative; the paper only constrains signaling
+    locks, §10.2). @raise Not_found if no such savepoint. *)
+
+val is_committed : t -> Gist_util.Txn_id.t -> bool
+val is_active : t -> Gist_util.Txn_id.t -> bool
+
+val active_txns : t -> (Gist_util.Txn_id.t * Gist_wal.Log_record.status * Gist_wal.Lsn.t) list
+(** Snapshot for checkpointing. *)
+
+val commit_lsn : t -> Gist_wal.Lsn.t
+(** The Commit_LSN of [Moh90b]: a page whose LSN is below this belongs
+    entirely to committed transactions, letting garbage collection skip
+    per-entry committed checks. *)
+
+val restore_txn :
+  t -> Gist_util.Txn_id.t -> status:Gist_wal.Log_record.status -> last_lsn:Gist_wal.Lsn.t -> txn
+(** Recreate a transaction-table entry during restart analysis. *)
+
+val mark_committed : t -> Gist_util.Txn_id.t -> unit
+(** Record a commit observed during restart analysis. *)
+
+val finish_txn : t -> txn -> unit
+(** Write End and drop the entry (restart undo uses this after rolling a
+    loser back). *)
+
+val forget_txn : t -> Gist_util.Txn_id.t -> unit
+(** Drop a transaction-table entry without logging (analysis saw its End
+    record). *)
+
+val abort_for_restart : t -> txn -> unit
+(** Roll back a loser transaction during restart: like [abort] but assumes
+    the Abort record may already exist. *)

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Buffer Bytes Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/util/txn_id.ml: Codec Format Hashtbl Int

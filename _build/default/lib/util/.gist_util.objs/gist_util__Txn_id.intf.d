@@ -1,0 +1,1 @@
+lib/util/txn_id.mli: Buffer Codec Format

@@ -1,0 +1,1 @@
+lib/util/xoshiro.ml: Array Float Int64

@@ -1,0 +1,3 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let elapsed_s t0 = Float.of_int (now_ns () - t0) /. 1e9

@@ -1,0 +1,8 @@
+(** Wall-clock time in integer nanoseconds, used for spin delays and
+    throughput measurement. Backed by [Unix.gettimeofday]; adequate for the
+    microsecond-to-second ranges this repository measures. *)
+
+val now_ns : unit -> int
+
+val elapsed_s : int -> float
+(** [elapsed_s t0] is seconds elapsed since [t0 = now_ns ()]. *)

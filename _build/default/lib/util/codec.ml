@@ -1,0 +1,114 @@
+exception Corrupt of string
+
+type reader = { buf : Bytes.t; mutable off : int }
+
+let reader ?(pos = 0) buf = { buf; off = pos }
+
+let pos r = r.off
+
+let remaining r = Bytes.length r.buf - r.off
+
+let need r n =
+  if r.off + n > Bytes.length r.buf then
+    raise (Corrupt (Printf.sprintf "truncated read: need %d at %d/%d" n r.off (Bytes.length r.buf)))
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let put_u16 b v = Buffer.add_uint16_le b (v land 0xffff)
+
+let put_i32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let put_i64 b v = Buffer.add_int64_le b v
+
+let put_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_float b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let put_string b s =
+  put_i32 b (String.length s);
+  Buffer.add_string b s
+
+let put_bytes b s =
+  put_i32 b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let put_option enc b = function
+  | None -> put_u8 b 0
+  | Some v ->
+    put_u8 b 1;
+    enc b v
+
+let put_list enc b l =
+  put_i32 b (List.length l);
+  List.iter (enc b) l
+
+let get_u8 r =
+  need r 1;
+  let v = Bytes.get_uint8 r.buf r.off in
+  r.off <- r.off + 1;
+  v
+
+let get_u16 r =
+  need r 2;
+  let v = Bytes.get_uint16_le r.buf r.off in
+  r.off <- r.off + 2;
+  v
+
+let get_i32 r =
+  need r 4;
+  let v = Int32.to_int (Bytes.get_int32_le r.buf r.off) in
+  r.off <- r.off + 4;
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = Bytes.get_int64_le r.buf r.off in
+  r.off <- r.off + 8;
+  v
+
+let get_int r = Int64.to_int (get_i64 r)
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Corrupt (Printf.sprintf "bad bool tag %d" n))
+
+let get_float r = Int64.float_of_bits (get_i64 r)
+
+let get_string r =
+  let n = get_i32 r in
+  if n < 0 then raise (Corrupt "negative string length");
+  need r n;
+  let s = Bytes.sub_string r.buf r.off n in
+  r.off <- r.off + n;
+  s
+
+let get_bytes r =
+  let n = get_i32 r in
+  if n < 0 then raise (Corrupt "negative bytes length");
+  need r n;
+  let s = Bytes.sub r.buf r.off n in
+  r.off <- r.off + n;
+  s
+
+let get_option dec r =
+  match get_u8 r with
+  | 0 -> None
+  | 1 -> Some (dec r)
+  | n -> raise (Corrupt (Printf.sprintf "bad option tag %d" n))
+
+let get_list dec r =
+  let n = get_i32 r in
+  if n < 0 then raise (Corrupt "negative list length");
+  List.init n (fun _ -> dec r)
+
+let checksum b off len =
+  (* 64-bit FNV offset basis, wrapped into OCaml's 63-bit int. *)
+  let h = ref (0xcbf29ce484222325L |> Int64.to_int) in
+  for i = off to off + len - 1 do
+    h := (!h lxor Bytes.get_uint8 b i) * 0x100000001b3
+  done;
+  !h land max_int

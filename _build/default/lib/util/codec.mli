@@ -1,0 +1,49 @@
+(** Binary encoding/decoding helpers for page images and log records.
+
+    Encoders append to a [Buffer.t]; decoders read from a [reader] that
+    tracks its own offset into a [Bytes.t]. All integers are little-endian
+    fixed width; variable-length payloads are length-prefixed. Decoding
+    failures raise [Corrupt], which recovery code treats as a torn or
+    damaged page. *)
+
+exception Corrupt of string
+
+type reader
+
+val reader : ?pos:int -> Bytes.t -> reader
+val pos : reader -> int
+val remaining : reader -> int
+
+(** {1 Encoders} *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u16 : Buffer.t -> int -> unit
+val put_i32 : Buffer.t -> int -> unit
+val put_i64 : Buffer.t -> int64 -> unit
+val put_int : Buffer.t -> int -> unit
+(** A native [int] carried as 64 bits. *)
+
+val put_bool : Buffer.t -> bool -> unit
+val put_float : Buffer.t -> float -> unit
+val put_string : Buffer.t -> string -> unit
+val put_bytes : Buffer.t -> Bytes.t -> unit
+val put_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val put_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+(** {1 Decoders} *)
+
+val get_u8 : reader -> int
+val get_u16 : reader -> int
+val get_i32 : reader -> int
+val get_i64 : reader -> int64
+val get_int : reader -> int
+val get_bool : reader -> bool
+val get_float : reader -> float
+val get_string : reader -> string
+val get_bytes : reader -> Bytes.t
+val get_option : (reader -> 'a) -> reader -> 'a option
+val get_list : (reader -> 'a) -> reader -> 'a list
+
+val checksum : Bytes.t -> int -> int -> int
+(** [checksum b off len] is a FNV-1a hash of the range, used as a page and
+    log-record integrity check (detects torn writes in crash tests). *)

@@ -1,0 +1,106 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Dyn: index %d out of bounds [0,%d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let grow t x =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap x in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Dyn.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let remove t i =
+  check t i;
+  Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+  t.len <- t.len - 1
+
+let clear t = t.len <- 0
+
+let is_empty t = t.len = 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p t = not (exists (fun x -> not (p x)) t)
+
+let find_index p t =
+  let rec loop i =
+    if i >= t.len then None else if p t.data.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let filter_in_place p t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    if p t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  t.len <- !j
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let copy t = { data = Array.copy t.data; len = t.len }
+
+let append dst src = iter (push dst) src
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

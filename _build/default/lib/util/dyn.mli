@@ -1,0 +1,43 @@
+(** Resizable arrays.
+
+    OCaml 5.1 does not ship [Stdlib.Dynarray]; this is a minimal, allocation
+    conscious replacement used for node entry lists and harness buffers. Not
+    thread-safe; callers synchronize externally (nodes are accessed under
+    latches). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a dynarray of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+
+val remove : 'a t -> int -> unit
+(** [remove t i] deletes index [i], shifting subsequent elements left. *)
+
+val clear : 'a t -> unit
+val is_empty : 'a t -> bool
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val find_index : ('a -> bool) -> 'a t -> int option
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val copy : 'a t -> 'a t
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes all elements of [src] onto [dst]. *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

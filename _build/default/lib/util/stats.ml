@@ -1,0 +1,95 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable total : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () = { count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity }
+
+  let add t v =
+    t.count <- t.count + 1;
+    t.total <- t.total +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0.0 else t.total /. Float.of_int t.count
+
+  let min t = t.min_v
+
+  let max t = t.max_v
+
+  let total t = t.total
+
+  let merge a b =
+    {
+      count = a.count + b.count;
+      total = a.total +. b.total;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3f min=%.3f max=%.3f" t.count (mean t) t.min_v t.max_v
+end
+
+module Histogram = struct
+  (* Buckets are log-spaced: bucket i covers [base^i, base^(i+1)) with
+     base = 2^(1/8), giving ~11%% resolution over 12 decades. *)
+  let buckets = 640
+
+  let base = Float.exp (Float.log 2.0 /. 8.0)
+
+  let log_base = Float.log base
+
+  type t = { counts : int array; mutable n : int }
+
+  let create () = { counts = Array.make buckets 0; n = 0 }
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else
+      let i = int_of_float (Float.log v /. log_base) + buckets / 2 in
+      Stdlib.max 0 (Stdlib.min (buckets - 1) i)
+
+  let value_of i = base ** Float.of_int (i + 1 - (buckets / 2))
+
+  let add t v =
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let percentile t p =
+    if t.n = 0 then 0.0
+    else begin
+      let target = int_of_float (Float.of_int t.n *. p) in
+      let acc = ref 0 in
+      let result = ref (value_of (buckets - 1)) in
+      (try
+         for i = 0 to buckets - 1 do
+           acc := !acc + t.counts.(i);
+           if !acc > target then begin
+             result := value_of i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let merge a b =
+    let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+    { counts; n = a.n + b.n }
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d p50=%.3g p95=%.3g p99=%.3g" t.n (percentile t 0.50)
+      (percentile t 0.95) (percentile t 0.99)
+end
+
+let atomic_counter () =
+  let c = Atomic.make 0 in
+  ((fun () -> Atomic.incr c), fun () -> Atomic.get c)

@@ -1,0 +1,35 @@
+(** Lightweight measurement accumulators for the experiment harness. *)
+
+(** Running counter with mean/min/max; not thread-safe (aggregate per-domain
+    instances with [merge]). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val merge : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Fixed-resolution latency histogram (log-spaced buckets) supporting
+    approximate percentiles. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] is an upper bound on the p99 sample. *)
+
+  val merge : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+val atomic_counter : unit -> (unit -> unit) * (unit -> int)
+(** [let incr, read = atomic_counter ()] builds a domain-safe counter. *)

@@ -1,0 +1,23 @@
+type t = int
+
+let none = 0
+
+let of_int i =
+  if i < 0 then invalid_arg "Txn_id.of_int: negative";
+  i
+
+let to_int t = t
+
+let is_some t = t <> none
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash = Hashtbl.hash
+
+let pp ppf t = Format.fprintf ppf "T%d" t
+
+let encode b t = Codec.put_i32 b t
+
+let decode r = Codec.get_i32 r

@@ -1,0 +1,18 @@
+(** Transaction identifiers.
+
+    Plain integers assigned by the transaction manager. Id 0 is reserved to
+    mean "no transaction" (log records written outside any transaction,
+    e.g. checkpoints). *)
+
+type t = private int
+
+val none : t
+val of_int : int -> t
+val to_int : t -> int
+val is_some : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val encode : Buffer.t -> t -> unit
+val decode : Codec.reader -> t

@@ -1,0 +1,91 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 expands the seed into four well-mixed state words; it is also
+   used by [split] to fork streams. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (next64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int: bound must be positive";
+  let v = Int64.to_int (next64 t) land max_int in
+  v mod bound
+
+let float t bound =
+  (* 53 high bits give a uniform double in [0,1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Xoshiro.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let zipf t ~n ~theta =
+  if theta <= 0.0 then int t n
+  else begin
+    (* Gray et al. self-similar approximation of a Zipfian distribution. *)
+    let zeta m =
+      let acc = ref 0.0 in
+      for i = 1 to m do
+        acc := !acc +. (1.0 /. Float.of_int i ** theta)
+      done;
+      !acc
+    in
+    let zn = zeta (min n 10_000) *. Float.of_int n /. Float.of_int (min n 10_000) in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. ((2.0 /. Float.of_int n) ** (1.0 -. theta)))
+      /. (1.0 -. (zeta 2 /. zn))
+    in
+    let u = float t 1.0 in
+    let uz = u *. zn in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. (0.5 ** theta) then 1
+    else
+      let r = Float.of_int n *. (((eta *. u) -. eta +. 1.0) ** alpha) in
+      min (n - 1) (max 0 (int_of_float r))
+  end

@@ -1,0 +1,39 @@
+(** Deterministic, splittable pseudo-random numbers (xoshiro256** seeded by
+    splitmix64).
+
+    Every workload generator and property test in this repository derives its
+    randomness from an explicit [Xoshiro.t] so experiments are reproducible
+    from a single integer seed, including across domains: [split] yields an
+    independent stream per worker. Not thread-safe; give each domain its own
+    stream. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val next64 : t -> int64
+(** Uniform 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipfian rank in [\[0, n)] with skew [theta] (0 = uniform). Uses the
+    rejection-free approximation of Gray et al.; adequate for workload
+    skew, not for statistical work. *)

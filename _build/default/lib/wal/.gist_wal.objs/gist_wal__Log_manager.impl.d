@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Atomic Buffer Bytes Codec Dyn Gist_util Int64 Log_record Lsn Mutex Option

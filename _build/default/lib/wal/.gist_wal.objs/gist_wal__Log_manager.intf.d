@@ -1,0 +1,1 @@
+lib/wal/log_manager.mli: Gist_util Log_record Lsn

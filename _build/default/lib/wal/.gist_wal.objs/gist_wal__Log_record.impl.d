@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Codec Format Gist_storage Gist_util List Lsn Printf Txn_id

@@ -1,0 +1,140 @@
+open Gist_util
+
+(* Records are serialized outside the mutex (the expensive part); the
+   critical section is only the LSN assignment and the push. The first 8
+   bytes of each image are the LSN, patched in under the mutex. [last] is
+   an atomic mirror of the length, so the NSN-counter read (§10.1) does
+   not synchronize on the append path. *)
+type t = {
+  mutex : Mutex.t;
+  mutable records : Bytes.t Dyn.t; (* index i holds the record with LSN base+i+1 *)
+  mutable base : int; (* records below base+1 have been truncated away *)
+  last : int Atomic.t;
+  mutable durable : Lsn.t;
+  mutable anchor : Lsn.t;
+  forces : int Atomic.t;
+  bytes_written : int Atomic.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    records = Dyn.create ();
+    base = 0;
+    last = Atomic.make 0;
+    durable = Lsn.nil;
+    anchor = Lsn.nil;
+    forces = Atomic.make 0;
+    bytes_written = Atomic.make 0;
+  }
+
+let append t ~txn ~prev ?(ext = "") payload =
+  let b = Buffer.create 128 in
+  (* Placeholder LSN; patched under the mutex once assigned. *)
+  Log_record.encode b { Log_record.lsn = Lsn.nil; txn; prev; ext; payload };
+  let img = Buffer.to_bytes b in
+  Atomic.fetch_and_add t.bytes_written (Bytes.length img) |> ignore;
+  Mutex.lock t.mutex;
+  let lsn = Int64.of_int (t.base + Dyn.length t.records + 1) in
+  Bytes.set_int64_le img 0 lsn;
+  Dyn.push t.records img;
+  Atomic.incr t.last;
+  Mutex.unlock t.mutex;
+  lsn
+
+let force t lsn =
+  Atomic.incr t.forces;
+  Mutex.lock t.mutex;
+  let high = Int64.of_int (t.base + Dyn.length t.records) in
+  if Lsn.( < ) t.durable (Lsn.min lsn high) then t.durable <- Lsn.min lsn high;
+  Mutex.unlock t.mutex
+
+let force_all t =
+  Atomic.incr t.forces;
+  Mutex.lock t.mutex;
+  t.durable <- Int64.of_int (t.base + Dyn.length t.records);
+  Mutex.unlock t.mutex
+
+let last_lsn t = Int64.of_int (Atomic.get t.last)
+
+let durable_lsn t =
+  Mutex.lock t.mutex;
+  let l = t.durable in
+  Mutex.unlock t.mutex;
+  l
+
+let read t lsn =
+  Mutex.lock t.mutex;
+  let idx = Int64.to_int lsn - 1 - t.base in
+  let img =
+    if idx >= 0 && idx < Dyn.length t.records then Some (Dyn.get t.records idx) else None
+  in
+  Mutex.unlock t.mutex;
+  Option.map (fun img -> Log_record.decode (Codec.reader img)) img
+
+let iter_from t lsn f =
+  (* Records are append-only (truncation only removes below the anchor):
+     indices under the snapshot are stable enough to read per record. *)
+  Mutex.lock t.mutex;
+  let n = Dyn.length t.records in
+  let base = t.base in
+  Mutex.unlock t.mutex;
+  let start = max 0 (Int64.to_int lsn - 1 - base) in
+  for i = start to n - 1 do
+    Mutex.lock t.mutex;
+    (* Truncation only discards below the anchor, which iteration never
+       starts before; guard anyway. *)
+    let img = if i >= 0 && i < Dyn.length t.records then Some (Dyn.get t.records i) else None in
+    Mutex.unlock t.mutex;
+    match img with Some img -> f (Log_record.decode (Codec.reader img)) | None -> ()
+  done
+
+let set_anchor t lsn =
+  Mutex.lock t.mutex;
+  t.anchor <- lsn;
+  Mutex.unlock t.mutex
+
+let anchor t =
+  Mutex.lock t.mutex;
+  let a = t.anchor in
+  Mutex.unlock t.mutex;
+  a
+
+let crash t =
+  Mutex.lock t.mutex;
+  let keep = Int64.to_int t.durable - t.base in
+  while Dyn.length t.records > keep do
+    ignore (Dyn.pop t.records)
+  done;
+  Atomic.set t.last (t.base + Dyn.length t.records);
+  if Lsn.( < ) t.durable t.anchor then t.anchor <- Lsn.nil;
+  Mutex.unlock t.mutex
+
+let truncate_before t lsn =
+  Mutex.lock t.mutex;
+  (* Keep everything at or after the anchor and anything not yet durable:
+     records the next restart could need must survive. *)
+  let limit = Lsn.min lsn (Lsn.min t.anchor t.durable) in
+  let cut = Int64.to_int limit - 1 - t.base in
+  if cut > 0 then begin
+    let remaining = Dyn.length t.records - cut in
+    let fresh = Dyn.create () in
+    for i = 0 to remaining - 1 do
+      Dyn.push fresh (Dyn.get t.records (cut + i))
+    done;
+    t.records <- fresh;
+    t.base <- t.base + cut
+  end;
+  let reclaimed = max 0 cut in
+  Mutex.unlock t.mutex;
+  reclaimed
+
+let appended t = Atomic.get t.last
+
+let forces t = Atomic.get t.forces
+
+let bytes_written t = Atomic.get t.bytes_written
+
+let reset_stats t =
+  Atomic.set t.forces 0;
+  Atomic.set t.bytes_written 0

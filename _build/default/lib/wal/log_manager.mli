@@ -1,0 +1,65 @@
+(** Write-ahead log manager.
+
+    Records are serialized to bytes on append and kept in an in-memory
+    sequence split by a durability watermark: a simulated crash discards
+    everything after the last [force]. LSNs are dense (1, 2, 3, …) so the
+    log doubles as the tree-global NSN counter of §10.1 — [last_lsn] is the
+    "global counter" a traversal memorizes, and the LSN of a split's log
+    record is the new NSN of the split node, recoverable for free.
+
+    Thread-safe. [last_lsn] takes the internal mutex, which is precisely
+    the synchronization bottleneck §10.1 warns about; experiment E8 measures
+    it against the parent-LSN memorization optimization. *)
+
+type t
+
+val create : unit -> t
+
+val append :
+  t ->
+  txn:Gist_util.Txn_id.t ->
+  prev:Lsn.t ->
+  ?ext:string ->
+  Log_record.payload ->
+  Lsn.t
+(** Assign the next LSN, serialize, and buffer the record. [ext] names the
+    access-method extension the payload's opaque encodings belong to. *)
+
+val force : t -> Lsn.t -> unit
+(** Make every record up to and including [lsn] durable. *)
+
+val force_all : t -> unit
+
+val last_lsn : t -> Lsn.t
+(** LSN of the most recently appended record (the global NSN counter). *)
+
+val durable_lsn : t -> Lsn.t
+
+val read : t -> Lsn.t -> Log_record.t option
+(** Decode the record at [lsn]; [None] if out of range. *)
+
+val iter_from : t -> Lsn.t -> (Log_record.t -> unit) -> unit
+(** Apply to every record with LSN >= the argument, in order. *)
+
+val set_anchor : t -> Lsn.t -> unit
+(** Persist the LSN of the most recent complete checkpoint (the "master
+    record"). Durable immediately, like a separate anchor block. *)
+
+val anchor : t -> Lsn.t
+
+val crash : t -> unit
+(** Discard the volatile tail: records after [durable_lsn] are lost, the
+    anchor keeps its last durable value. *)
+
+val truncate_before : t -> Lsn.t -> int
+(** Reclaim records with LSN below the given point — clamped so nothing at
+    or after the checkpoint anchor, or not yet durable, is ever discarded
+    (restart may need those). Returns how many records were reclaimed.
+    Safe after a checkpoint whose dirty pages have been flushed. *)
+
+(** {1 Statistics} *)
+
+val appended : t -> int
+val forces : t -> int
+val bytes_written : t -> int
+val reset_stats : t -> unit

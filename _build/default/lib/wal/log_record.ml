@@ -1,0 +1,426 @@
+open Gist_util
+module Page_id = Gist_storage.Page_id
+module Rid = Gist_storage.Rid
+
+type status = Active | Committed | Aborting
+
+type checkpoint_end = {
+  dirty_pages : (Page_id.t * Lsn.t) list;
+  active_txns : (Txn_id.t * status * Lsn.t) list;
+  allocator : string;
+}
+
+type clr_action = Act_none | Act_apply of payload
+
+and payload =
+  | Begin
+  | Commit
+  | Abort
+  | End
+  | Clr of { action : clr_action; undo_next : Lsn.t }
+  | Checkpoint_begin
+  | Checkpoint_end of checkpoint_end
+  | Parent_entry_update of { parent : Page_id.t; child : Page_id.t; new_bp : string }
+  | Split of {
+      orig : Page_id.t;
+      right : Page_id.t;
+      moved : string list;
+      orig_old_nsn : Lsn.t;
+      orig_new_nsn : Lsn.t;
+      orig_old_rightlink : Page_id.t;
+      level : int;
+    }
+  | Root_grow of {
+      root : Page_id.t;
+      child : Page_id.t;
+      entries : string list;
+      root_old_nsn : Lsn.t;
+      old_level : int;
+      root_bp : string;
+    }
+  | Garbage_collection of { page : Page_id.t; rids : Rid.t list }
+  | Internal_entry_add of { page : Page_id.t; entry : string }
+  | Internal_entry_update of {
+      page : Page_id.t;
+      child : Page_id.t;
+      new_bp : string;
+      old_bp : string;
+    }
+  | Internal_entry_delete of { page : Page_id.t; entry : string }
+  | Add_leaf_entry of { page : Page_id.t; nsn : Lsn.t; entry : string; rid : Rid.t }
+  | Mark_leaf_entry of { page : Page_id.t; nsn : Lsn.t; rid : Rid.t }
+  | Get_page of { page : Page_id.t }
+  | Free_page of { page : Page_id.t }
+  | Remove_leaf_entry of { page : Page_id.t; rid : Rid.t }
+  | Unmark_leaf_entry of { page : Page_id.t; rid : Rid.t }
+  | Unsplit of {
+      orig : Page_id.t;
+      right : Page_id.t;
+      moved : string list;
+      restore_nsn : Lsn.t;
+      restore_rightlink : Page_id.t;
+    }
+  | Root_shrink of {
+      root : Page_id.t;
+      child : Page_id.t;
+      entries : string list;
+      restore_nsn : Lsn.t;
+      restore_level : int;
+    }
+  | Format_node of { page : Page_id.t; level : int; bp : string }
+  | Set_rightlink of { page : Page_id.t; new_rl : Page_id.t; old_rl : Page_id.t }
+
+type t = { lsn : Lsn.t; txn : Txn_id.t; prev : Lsn.t; ext : string; payload : payload }
+
+let is_redo_only = function
+  | Parent_entry_update _ | Garbage_collection _ | Clr _ -> true
+  | Begin | Commit | Abort | End | Checkpoint_begin | Checkpoint_end _ -> true
+  | Remove_leaf_entry _ | Unmark_leaf_entry _ | Unsplit _ | Root_shrink _ -> true
+  | Format_node _ -> true
+  | Set_rightlink _ -> false
+  | Split _ | Root_grow _ | Internal_entry_add _ | Internal_entry_update _
+  | Internal_entry_delete _ | Add_leaf_entry _ | Mark_leaf_entry _ | Get_page _
+  | Free_page _ ->
+    false
+
+let rec pages_touched = function
+  | Begin | Commit | Abort | End | Checkpoint_begin | Checkpoint_end _ -> []
+  | Clr { action = Act_apply p; _ } -> pages_touched p
+  | Clr { action = Act_none; _ } -> []
+  | Remove_leaf_entry { page; _ } | Unmark_leaf_entry { page; _ } -> [ page ]
+  | Unsplit { orig; right; _ } -> [ orig; right ]
+  | Root_shrink { root; child; _ } -> [ root; child ]
+  | Format_node { page; _ } -> [ page ]
+  | Set_rightlink { page; _ } -> [ page ]
+  | Parent_entry_update { parent; child; _ } -> [ parent; child ]
+  | Split { orig; right; _ } -> [ orig; right ]
+  | Root_grow { root; child; _ } -> [ root; child ]
+  | Garbage_collection { page; _ }
+  | Internal_entry_add { page; _ }
+  | Internal_entry_update { page; _ }
+  | Internal_entry_delete { page; _ }
+  | Add_leaf_entry { page; _ }
+  | Mark_leaf_entry { page; _ } ->
+    [ page ]
+  | Get_page _ | Free_page _ -> []
+
+(* --- binary encoding --- *)
+
+let tag_of = function
+  | Begin -> 1
+  | Commit -> 2
+  | Abort -> 3
+  | End -> 4
+  | Clr _ -> 5
+  | Checkpoint_begin -> 6
+  | Checkpoint_end _ -> 7
+  | Parent_entry_update _ -> 8
+  | Split _ -> 9
+  | Root_grow _ -> 10
+  | Garbage_collection _ -> 11
+  | Internal_entry_add _ -> 12
+  | Internal_entry_update _ -> 13
+  | Internal_entry_delete _ -> 14
+  | Add_leaf_entry _ -> 15
+  | Mark_leaf_entry _ -> 16
+  | Get_page _ -> 17
+  | Free_page _ -> 18
+  | Remove_leaf_entry _ -> 19
+  | Unmark_leaf_entry _ -> 20
+  | Unsplit _ -> 21
+  | Root_shrink _ -> 22
+  | Format_node _ -> 23
+  | Set_rightlink _ -> 24
+
+let encode_status b = function
+  | Active -> Codec.put_u8 b 0
+  | Committed -> Codec.put_u8 b 1
+  | Aborting -> Codec.put_u8 b 2
+
+let decode_status r =
+  match Codec.get_u8 r with
+  | 0 -> Active
+  | 1 -> Committed
+  | 2 -> Aborting
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad txn status %d" n))
+
+let rec encode_action b = function
+  | Act_none -> Codec.put_u8 b 0
+  | Act_apply p ->
+    Codec.put_u8 b 1;
+    encode_payload b p
+
+and encode_payload b p =
+  Codec.put_u8 b (tag_of p);
+  match p with
+  | Begin | Commit | Abort | End | Checkpoint_begin -> ()
+  | Clr { action; undo_next } ->
+    encode_action b action;
+    Lsn.encode b undo_next
+  | Checkpoint_end { dirty_pages; active_txns; allocator } ->
+    Codec.put_list
+      (fun b (p, l) ->
+        Page_id.encode b p;
+        Lsn.encode b l)
+      b dirty_pages;
+    Codec.put_list
+      (fun b (t, s, l) ->
+        Txn_id.encode b t;
+        encode_status b s;
+        Lsn.encode b l)
+      b active_txns;
+    Codec.put_string b allocator
+  | Parent_entry_update { parent; child; new_bp } ->
+    Page_id.encode b parent;
+    Page_id.encode b child;
+    Codec.put_string b new_bp
+  | Split { orig; right; moved; orig_old_nsn; orig_new_nsn; orig_old_rightlink; level } ->
+    Page_id.encode b orig;
+    Page_id.encode b right;
+    Codec.put_list Codec.put_string b moved;
+    Lsn.encode b orig_old_nsn;
+    Lsn.encode b orig_new_nsn;
+    Page_id.encode b orig_old_rightlink;
+    Codec.put_i32 b level
+  | Root_grow { root; child; entries; root_old_nsn; old_level; root_bp } ->
+    Page_id.encode b root;
+    Page_id.encode b child;
+    Codec.put_list Codec.put_string b entries;
+    Lsn.encode b root_old_nsn;
+    Codec.put_i32 b old_level;
+    Codec.put_string b root_bp
+  | Garbage_collection { page; rids } ->
+    Page_id.encode b page;
+    Codec.put_list Rid.encode b rids
+  | Internal_entry_add { page; entry } ->
+    Page_id.encode b page;
+    Codec.put_string b entry
+  | Internal_entry_update { page; child; new_bp; old_bp } ->
+    Page_id.encode b page;
+    Page_id.encode b child;
+    Codec.put_string b new_bp;
+    Codec.put_string b old_bp
+  | Internal_entry_delete { page; entry } ->
+    Page_id.encode b page;
+    Codec.put_string b entry
+  | Add_leaf_entry { page; nsn; entry; rid } ->
+    Page_id.encode b page;
+    Lsn.encode b nsn;
+    Codec.put_string b entry;
+    Rid.encode b rid
+  | Mark_leaf_entry { page; nsn; rid } ->
+    Page_id.encode b page;
+    Lsn.encode b nsn;
+    Rid.encode b rid
+  | Get_page { page } -> Page_id.encode b page
+  | Free_page { page } -> Page_id.encode b page
+  | Remove_leaf_entry { page; rid } ->
+    Page_id.encode b page;
+    Rid.encode b rid
+  | Unmark_leaf_entry { page; rid } ->
+    Page_id.encode b page;
+    Rid.encode b rid
+  | Unsplit { orig; right; moved; restore_nsn; restore_rightlink } ->
+    Page_id.encode b orig;
+    Page_id.encode b right;
+    Codec.put_list Codec.put_string b moved;
+    Lsn.encode b restore_nsn;
+    Page_id.encode b restore_rightlink
+  | Root_shrink { root; child; entries; restore_nsn; restore_level } ->
+    Page_id.encode b root;
+    Page_id.encode b child;
+    Codec.put_list Codec.put_string b entries;
+    Lsn.encode b restore_nsn;
+    Codec.put_i32 b restore_level
+  | Format_node { page; level; bp } ->
+    Page_id.encode b page;
+    Codec.put_i32 b level;
+    Codec.put_string b bp
+  | Set_rightlink { page; new_rl; old_rl } ->
+    Page_id.encode b page;
+    Page_id.encode b new_rl;
+    Page_id.encode b old_rl
+
+let rec decode_action r =
+  match Codec.get_u8 r with
+  | 0 -> Act_none
+  | 1 -> Act_apply (decode_payload r)
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad clr action %d" n))
+
+and decode_payload r =
+  match Codec.get_u8 r with
+  | 1 -> Begin
+  | 2 -> Commit
+  | 3 -> Abort
+  | 4 -> End
+  | 5 ->
+    let action = decode_action r in
+    let undo_next = Lsn.decode r in
+    Clr { action; undo_next }
+  | 6 -> Checkpoint_begin
+  | 7 ->
+    let dirty_pages =
+      Codec.get_list
+        (fun r ->
+          let p = Page_id.decode r in
+          let l = Lsn.decode r in
+          (p, l))
+        r
+    in
+    let active_txns =
+      Codec.get_list
+        (fun r ->
+          let t = Txn_id.decode r in
+          let s = decode_status r in
+          let l = Lsn.decode r in
+          (t, s, l))
+        r
+    in
+    let allocator = Codec.get_string r in
+    Checkpoint_end { dirty_pages; active_txns; allocator }
+  | 8 ->
+    let parent = Page_id.decode r in
+    let child = Page_id.decode r in
+    let new_bp = Codec.get_string r in
+    Parent_entry_update { parent; child; new_bp }
+  | 9 ->
+    let orig = Page_id.decode r in
+    let right = Page_id.decode r in
+    let moved = Codec.get_list Codec.get_string r in
+    let orig_old_nsn = Lsn.decode r in
+    let orig_new_nsn = Lsn.decode r in
+    let orig_old_rightlink = Page_id.decode r in
+    let level = Codec.get_i32 r in
+    Split { orig; right; moved; orig_old_nsn; orig_new_nsn; orig_old_rightlink; level }
+  | 10 ->
+    let root = Page_id.decode r in
+    let child = Page_id.decode r in
+    let entries = Codec.get_list Codec.get_string r in
+    let root_old_nsn = Lsn.decode r in
+    let old_level = Codec.get_i32 r in
+    let root_bp = Codec.get_string r in
+    Root_grow { root; child; entries; root_old_nsn; old_level; root_bp }
+  | 11 ->
+    let page = Page_id.decode r in
+    let rids = Codec.get_list Rid.decode r in
+    Garbage_collection { page; rids }
+  | 12 ->
+    let page = Page_id.decode r in
+    let entry = Codec.get_string r in
+    Internal_entry_add { page; entry }
+  | 13 ->
+    let page = Page_id.decode r in
+    let child = Page_id.decode r in
+    let new_bp = Codec.get_string r in
+    let old_bp = Codec.get_string r in
+    Internal_entry_update { page; child; new_bp; old_bp }
+  | 14 ->
+    let page = Page_id.decode r in
+    let entry = Codec.get_string r in
+    Internal_entry_delete { page; entry }
+  | 15 ->
+    let page = Page_id.decode r in
+    let nsn = Lsn.decode r in
+    let entry = Codec.get_string r in
+    let rid = Rid.decode r in
+    Add_leaf_entry { page; nsn; entry; rid }
+  | 16 ->
+    let page = Page_id.decode r in
+    let nsn = Lsn.decode r in
+    let rid = Rid.decode r in
+    Mark_leaf_entry { page; nsn; rid }
+  | 17 -> Get_page { page = Page_id.decode r }
+  | 18 -> Free_page { page = Page_id.decode r }
+  | 19 ->
+    let page = Page_id.decode r in
+    let rid = Rid.decode r in
+    Remove_leaf_entry { page; rid }
+  | 20 ->
+    let page = Page_id.decode r in
+    let rid = Rid.decode r in
+    Unmark_leaf_entry { page; rid }
+  | 21 ->
+    let orig = Page_id.decode r in
+    let right = Page_id.decode r in
+    let moved = Codec.get_list Codec.get_string r in
+    let restore_nsn = Lsn.decode r in
+    let restore_rightlink = Page_id.decode r in
+    Unsplit { orig; right; moved; restore_nsn; restore_rightlink }
+  | 22 ->
+    let root = Page_id.decode r in
+    let child = Page_id.decode r in
+    let entries = Codec.get_list Codec.get_string r in
+    let restore_nsn = Lsn.decode r in
+    let restore_level = Codec.get_i32 r in
+    Root_shrink { root; child; entries; restore_nsn; restore_level }
+  | 23 ->
+    let page = Page_id.decode r in
+    let level = Codec.get_i32 r in
+    let bp = Codec.get_string r in
+    Format_node { page; level; bp }
+  | 24 ->
+    let page = Page_id.decode r in
+    let new_rl = Page_id.decode r in
+    let old_rl = Page_id.decode r in
+    Set_rightlink { page; new_rl; old_rl }
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bad log record tag %d" n))
+
+let encode b t =
+  Lsn.encode b t.lsn;
+  Txn_id.encode b t.txn;
+  Lsn.encode b t.prev;
+  Codec.put_string b t.ext;
+  encode_payload b t.payload
+
+let decode r =
+  let lsn = Lsn.decode r in
+  let txn = Txn_id.decode r in
+  let prev = Lsn.decode r in
+  let ext = Codec.get_string r in
+  let payload = decode_payload r in
+  { lsn; txn; prev; ext; payload }
+
+let pp_status ppf = function
+  | Active -> Format.pp_print_string ppf "active"
+  | Committed -> Format.pp_print_string ppf "committed"
+  | Aborting -> Format.pp_print_string ppf "aborting"
+
+let payload_name = function
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | End -> "end"
+  | Clr _ -> "clr"
+  | Checkpoint_begin -> "ckpt-begin"
+  | Checkpoint_end _ -> "ckpt-end"
+  | Parent_entry_update _ -> "parent-entry-update"
+  | Split _ -> "split"
+  | Root_grow _ -> "root-grow"
+  | Garbage_collection _ -> "garbage-collection"
+  | Internal_entry_add _ -> "internal-entry-add"
+  | Internal_entry_update _ -> "internal-entry-update"
+  | Internal_entry_delete _ -> "internal-entry-delete"
+  | Add_leaf_entry _ -> "add-leaf-entry"
+  | Mark_leaf_entry _ -> "mark-leaf-entry"
+  | Get_page _ -> "get-page"
+  | Free_page _ -> "free-page"
+  | Remove_leaf_entry _ -> "remove-leaf-entry"
+  | Unmark_leaf_entry _ -> "unmark-leaf-entry"
+  | Unsplit _ -> "unsplit"
+  | Root_shrink _ -> "root-shrink"
+  | Format_node _ -> "format-node"
+  | Set_rightlink _ -> "set-rightlink"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a %a prev=%a %s" Lsn.pp t.lsn Txn_id.pp t.txn Lsn.pp t.prev
+    (payload_name t.payload);
+  (match t.payload with
+  | Clr { undo_next; _ } -> Format.fprintf ppf " undo_next=%a" Lsn.pp undo_next
+  | Split { orig; right; moved; _ } ->
+    Format.fprintf ppf " %a->%a moved=%d" Page_id.pp orig Page_id.pp right (List.length moved)
+  | Add_leaf_entry { page; rid; _ } ->
+    Format.fprintf ppf " %a %a" Page_id.pp page Rid.pp rid
+  | Mark_leaf_entry { page; rid; _ } ->
+    Format.fprintf ppf " %a %a" Page_id.pp page Rid.pp rid
+  | _ -> ());
+  Format.fprintf ppf "@]"

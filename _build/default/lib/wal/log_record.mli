@@ -1,0 +1,143 @@
+(** Log records — the catalog of Table 1 plus transaction control.
+
+    Key and entry images are carried as opaque strings (the GiST extension's
+    binary encoding); the WAL layer moves them around without interpreting
+    them, exactly as the paper requires ("no additional user-supplied
+    extension code is required to write the log records").
+
+    Structure-modification records ([Split], [Root_grow],
+    [Internal_entry_*], [Get_page], [Free_page]) are written inside nested
+    top actions and are undone page-oriented if the NTA is incomplete at
+    crash time. [Add_leaf_entry] and [Mark_leaf_entry] belong to the
+    initiating transaction and are undone *logically* (rightlink traversal
+    to relocate the entry), per §9.2. [Parent_entry_update] and
+    [Garbage_collection] are redo-only. *)
+
+type status = Active | Committed | Aborting
+
+(** Redo-only actions a compensation record can describe. Rollback applies
+    the inverse of the original record and logs it as a [Clr] whose action
+    is replayed with ordinary page-LSN-conditional redo, so that restart
+    repeats history and undo is never undone — even if the system crashes
+    in the middle of restart undo. *)
+type checkpoint_end = {
+  dirty_pages : (Gist_storage.Page_id.t * Lsn.t) list;  (** ARIES dirty page table. *)
+  active_txns : (Gist_util.Txn_id.t * status * Lsn.t) list;
+      (** Transaction table: id, status, last LSN. *)
+  allocator : string;  (** Opaque page-allocator snapshot. *)
+}
+
+type clr_action =
+  | Act_none  (** Dummy CLR closing a nested top action. *)
+  | Act_apply of payload
+      (** The page-oriented inverse of the compensated record, e.g. a
+          [Remove_leaf_entry] compensating an [Add_leaf_entry]. *)
+
+and payload =
+  | Begin
+  | Commit
+  | Abort
+  | End
+  | Clr of { action : clr_action; undo_next : Lsn.t }
+  | Checkpoint_begin
+  | Checkpoint_end of checkpoint_end
+  (* --- Table 1 structure modification and content records --- *)
+  | Parent_entry_update of {
+      parent : Gist_storage.Page_id.t;
+      child : Gist_storage.Page_id.t;
+      new_bp : string;
+    }  (** Redo-only: BP expansion in child header and parent slot. *)
+  | Split of {
+      orig : Gist_storage.Page_id.t;
+      right : Gist_storage.Page_id.t;
+      moved : string list;  (** Encoded entries moved to the right page. *)
+      orig_old_nsn : Lsn.t;
+      orig_new_nsn : Lsn.t;
+      orig_old_rightlink : Gist_storage.Page_id.t;
+      level : int;
+    }
+  | Root_grow of {
+      root : Gist_storage.Page_id.t;
+      child : Gist_storage.Page_id.t;
+      entries : string list;  (** Everything moved from the root to [child]. *)
+      root_old_nsn : Lsn.t;
+      old_level : int;
+      root_bp : string;
+    }  (** Fixed-root root split: root's content moves into a fresh child. *)
+  | Garbage_collection of {
+      page : Gist_storage.Page_id.t;
+      rids : Gist_storage.Rid.t list;
+    }  (** Redo-only: physical removal of committed-deleted leaf entries. *)
+  | Internal_entry_add of { page : Gist_storage.Page_id.t; entry : string }
+  | Internal_entry_update of {
+      page : Gist_storage.Page_id.t;
+      child : Gist_storage.Page_id.t;
+      new_bp : string;
+      old_bp : string;
+    }
+  | Internal_entry_delete of { page : Gist_storage.Page_id.t; entry : string }
+  | Add_leaf_entry of {
+      page : Gist_storage.Page_id.t;
+      nsn : Lsn.t;
+      entry : string;
+      rid : Gist_storage.Rid.t;
+    }
+  | Mark_leaf_entry of {
+      page : Gist_storage.Page_id.t;
+      nsn : Lsn.t;
+      rid : Gist_storage.Rid.t;
+    }
+  | Get_page of { page : Gist_storage.Page_id.t }
+  | Free_page of { page : Gist_storage.Page_id.t }
+  (* --- CLR-only inverse actions (page-oriented, redo-only) --- *)
+  | Remove_leaf_entry of { page : Gist_storage.Page_id.t; rid : Gist_storage.Rid.t }
+      (** Physical removal compensating [Add_leaf_entry] (logical undo
+          relocates the entry first; [page] is where it actually was). *)
+  | Unmark_leaf_entry of { page : Gist_storage.Page_id.t; rid : Gist_storage.Rid.t }
+      (** Compensates [Mark_leaf_entry]. *)
+  | Unsplit of {
+      orig : Gist_storage.Page_id.t;
+      right : Gist_storage.Page_id.t;
+      moved : string list;
+      restore_nsn : Lsn.t;
+      restore_rightlink : Gist_storage.Page_id.t;
+    }  (** Compensates [Split] when a split NTA is interrupted. *)
+  | Root_shrink of {
+      root : Gist_storage.Page_id.t;
+      child : Gist_storage.Page_id.t;
+      entries : string list;
+      restore_nsn : Lsn.t;
+      restore_level : int;
+    }  (** Compensates [Root_grow]. *)
+  | Format_node of { page : Gist_storage.Page_id.t; level : int; bp : string }
+      (** Formats an empty node (tree creation); redo-only — the enclosing
+          NTA's Get-Page undo releases the page. *)
+  | Set_rightlink of {
+      page : Gist_storage.Page_id.t;
+      new_rl : Gist_storage.Page_id.t;
+      old_rl : Gist_storage.Page_id.t;
+    }  (** Stitches a left sibling's rightlink past a deleted node (§7.2);
+          written inside the node-deletion NTA. *)
+
+type t = {
+  lsn : Lsn.t;
+  txn : Gist_util.Txn_id.t;
+  prev : Lsn.t;  (** Backchain to this transaction's previous record. *)
+  ext : string;
+      (** Name of the access-method extension whose encodings the payload
+          carries ("" for control records) — recovery dispatches on it in
+          multi-tree databases. *)
+  payload : payload;
+}
+
+val is_redo_only : payload -> bool
+(** True for records whose undo action in Table 1 is "none". *)
+
+val pages_touched : payload -> Gist_storage.Page_id.t list
+(** Pages whose images this record's redo may modify (drives the dirty page
+    table during analysis). *)
+
+val encode : Buffer.t -> t -> unit
+val decode : Gist_util.Codec.reader -> t
+val pp : Format.formatter -> t -> unit
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,21 @@
+type t = int64
+
+let nil = 0L
+
+let equal = Int64.equal
+
+let compare = Int64.compare
+
+let ( < ) a b = Stdlib.( < ) (Int64.compare a b) 0
+
+let ( <= ) a b = Stdlib.( <= ) (Int64.compare a b) 0
+
+let max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+
+let min a b = if Stdlib.( <= ) (Int64.compare a b) 0 then a else b
+
+let pp ppf t = Format.fprintf ppf "L%Ld" t
+
+let encode b t = Gist_util.Codec.put_i64 b t
+
+let decode r = Gist_util.Codec.get_i64 r

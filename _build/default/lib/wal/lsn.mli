@@ -1,0 +1,19 @@
+(** Log sequence numbers.
+
+    Monotonically increasing 64-bit values assigned by the log manager.
+    Because NSNs are drawn from the same source (§10.1 of the paper), LSN
+    comparisons drive split detection throughout the tree code. [nil] (0)
+    orders below every real LSN. *)
+
+type t = int64
+
+val nil : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val encode : Buffer.t -> t -> unit
+val decode : Gist_util.Codec.reader -> t

@@ -1,0 +1,1 @@
+test/test_ams.ml: Alcotest Array Buffer Float Gist_ams Gist_core Gist_storage Gist_txn Gist_util List

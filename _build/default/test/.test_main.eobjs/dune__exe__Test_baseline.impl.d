@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Atomic Db Domain Gist Gist_ams Gist_baseline Gist_core Gist_storage Gist_txn Gist_util List Printf Tree_check

@@ -1,0 +1,1 @@
+test/test_bulk.ml: Alcotest Array Db Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal Int64 List Node Printf Recovery Tree_check

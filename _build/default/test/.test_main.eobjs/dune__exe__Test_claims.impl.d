@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Atomic Db Domain Gist Gist_ams Gist_baseline Gist_core Gist_storage Gist_txn Gist_util Gist_wal Hashtbl List Recovery Tree_check

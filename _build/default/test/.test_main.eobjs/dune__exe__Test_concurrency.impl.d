@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Array Atomic Db Domain Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal Hashtbl List Printf Recovery Semaphore String Tree_check

@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Atomic Cursor Db Domain Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util List Printf Thread Tree_check

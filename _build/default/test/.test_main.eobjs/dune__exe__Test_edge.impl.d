@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Atomic Buffer Bytes Char Db Domain Ext Float Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal Int64 List Printf Recovery String Tree_check

@@ -1,0 +1,1 @@
+test/test_gist.ml: Alcotest Array Db Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Hashtbl List Tree_check

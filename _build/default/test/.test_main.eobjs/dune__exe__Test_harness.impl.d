@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Atomic Db Driver Float Gist Gist_ams Gist_core Gist_harness Gist_txn Gist_util Hashtbl List Tree_check Workload

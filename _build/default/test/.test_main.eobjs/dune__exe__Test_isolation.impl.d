@@ -1,0 +1,1 @@
+test/test_isolation.ml: Alcotest Atomic Db Domain Float Gist Gist_ams Gist_core Gist_pred Gist_storage Gist_txn Gist_util List Thread

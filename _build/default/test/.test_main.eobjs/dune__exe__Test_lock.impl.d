@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Atomic Domain Gist_storage Gist_txn Gist_util List Lock_manager Thread

@@ -1,0 +1,1 @@
+test/test_multitree.ml: Alcotest Db Domain Ext Float Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal List Recovery Tree_check

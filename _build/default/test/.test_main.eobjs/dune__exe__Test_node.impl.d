@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Gist_ams Gist_core Gist_storage Gist_util Node

@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Domain Gist_pred Gist_storage Gist_util List Predicate_manager

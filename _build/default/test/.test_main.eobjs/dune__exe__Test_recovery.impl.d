@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Db Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_util Gist_wal Hashtbl Int64 List Printf Recovery Tree_check

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Atomic Buffer Buffer_pool Bytes Disk Domain Gist_storage Gist_util Latch List Page_id Rid Thread

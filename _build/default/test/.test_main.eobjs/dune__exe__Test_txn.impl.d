@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Gist_storage Gist_txn Gist_util Gist_wal List Lock_manager Txn_manager

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Codec Dyn Float Gist_util List Printf Stats Txn_id Xoshiro

@@ -1,0 +1,1 @@
+test/test_vacuum.ml: Alcotest Db Format Gist Gist_ams Gist_core Gist_storage Gist_txn Gist_wal List Printf Recovery Tree_check

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Buffer Domain Format Gist_storage Gist_util Gist_wal Int64 List Log_manager Log_record

@@ -1,0 +1,308 @@
+(* Unit tests for the access-method extensions: B-tree, R-tree, interval. *)
+
+module B = Gist_ams.Btree_ext
+module R = Gist_ams.Rtree_ext
+module I = Gist_ams.Interval_ext
+module RD = Gist_ams.Rd_tree_ext
+module Ext = Gist_core.Ext
+
+(* --- B-tree --- *)
+
+let test_btree_consistent () =
+  Alcotest.(check bool) "point in range" true (B.ext.Ext.consistent (B.key 5) (B.range 1 10));
+  Alcotest.(check bool) "point out of range" false
+    (B.ext.Ext.consistent (B.key 50) (B.range 1 10));
+  Alcotest.(check bool) "ranges overlap" true
+    (B.ext.Ext.consistent (B.range 5 15) (B.range 10 20));
+  Alcotest.(check bool) "ranges touch" true (B.ext.Ext.consistent (B.range 1 10) (B.range 10 20));
+  Alcotest.(check bool) "disjoint" false (B.ext.Ext.consistent (B.range 1 9) (B.range 10 20));
+  Alcotest.(check bool) "empty never consistent" false
+    (B.ext.Ext.consistent (B.key 5) B.Empty);
+  Alcotest.(check bool) "query empty never consistent" false
+    (B.ext.Ext.consistent B.Empty (B.range 0 100))
+
+let test_btree_union_penalty () =
+  Alcotest.(check bool) "union hull" true
+    (B.ext.Ext.matches_exact (B.ext.Ext.union [ B.range 1 5; B.range 10 12 ]) (B.range 1 12));
+  Alcotest.(check bool) "union with empty" true
+    (B.ext.Ext.matches_exact (B.ext.Ext.union [ B.Empty; B.key 7 ]) (B.key 7));
+  Alcotest.(check (float 1e-9)) "no growth no penalty" 0.0
+    (B.ext.Ext.penalty (B.range 1 10) (B.key 5));
+  Alcotest.(check bool) "growth penalized" true
+    (B.ext.Ext.penalty (B.range 1 10) (B.key 100) > 0.0);
+  Alcotest.(check bool) "closer is cheaper" true
+    (B.ext.Ext.penalty (B.range 1 10) (B.key 12) < B.ext.Ext.penalty (B.range 1 10) (B.key 100))
+
+let test_btree_pick_split_ordered () =
+  (* The split must separate by order: max(left) < min(right). *)
+  let keys = [| 9; 1; 7; 3; 5; 8; 2; 6 |] in
+  let ps = Array.map B.key keys in
+  let assignment = B.ext.Ext.pick_split ps in
+  let left = ref [] and right = ref [] in
+  Array.iteri (fun i k -> if assignment.(i) then right := k :: !right else left := k :: !left)
+    keys;
+  Alcotest.(check bool) "both non-empty" true (!left <> [] && !right <> []);
+  Alcotest.(check bool) "ordered partition" true
+    (List.fold_left max min_int !left < List.fold_left min max_int !right)
+
+let test_btree_codec () =
+  List.iter
+    (fun p ->
+      let b = Buffer.create 16 in
+      B.ext.Ext.encode b p;
+      let p' = B.ext.Ext.decode (Gist_util.Codec.reader (Buffer.to_bytes b)) in
+      Alcotest.(check bool) "roundtrip" true (B.ext.Ext.matches_exact p p'))
+    [ B.Empty; B.key 0; B.key (-5); B.range (-100) 100; B.key max_int ]
+
+let test_btree_key_value () =
+  Alcotest.(check int) "point value" 42 (B.key_value (B.key 42));
+  Alcotest.check_raises "range is not a point"
+    (Invalid_argument "Btree_ext.key_value: not a point") (fun () ->
+      ignore (B.key_value (B.range 1 2)))
+
+(* --- R-tree --- *)
+
+let test_rtree_geometry () =
+  let r1 = R.rect 0.0 0.0 10.0 10.0 in
+  let r2 = R.rect 5.0 5.0 15.0 15.0 in
+  let r3 = R.rect 20.0 20.0 30.0 30.0 in
+  Alcotest.(check bool) "overlap" true (R.overlaps r1 r2);
+  Alcotest.(check bool) "disjoint" false (R.overlaps r1 r3);
+  Alcotest.(check (float 1e-9)) "area" 100.0 (R.area r1);
+  Alcotest.(check bool) "contains" true
+    (R.contains ~outer:(R.rect 0.0 0.0 20.0 20.0) ~inner:r1);
+  Alcotest.(check bool) "not contains" false (R.contains ~outer:r1 ~inner:r2);
+  Alcotest.(check bool) "normalized corners" true
+    (R.ext.Ext.matches_exact (R.rect 10.0 10.0 0.0 0.0) r1)
+
+let test_rtree_union_penalty () =
+  let u = R.ext.Ext.union [ R.rect 0.0 0.0 1.0 1.0; R.rect 9.0 9.0 10.0 10.0 ] in
+  Alcotest.(check bool) "bounding box" true
+    (R.ext.Ext.matches_exact u (R.rect 0.0 0.0 10.0 10.0));
+  Alcotest.(check (float 1e-9)) "no enlargement" 0.0
+    (R.ext.Ext.penalty (R.rect 0.0 0.0 10.0 10.0) (R.point 5.0 5.0));
+  Alcotest.(check bool) "enlargement penalized" true
+    (R.ext.Ext.penalty (R.rect 0.0 0.0 1.0 1.0) (R.point 10.0 10.0) > 0.0)
+
+let test_rtree_quadratic_split () =
+  (* Two spatial clusters must end up in different groups. *)
+  let rng = Gist_util.Xoshiro.create 3 in
+  let cluster cx cy =
+    Array.init 10 (fun _ ->
+        let x = cx +. Gist_util.Xoshiro.float rng 1.0 in
+        let y = cy +. Gist_util.Xoshiro.float rng 1.0 in
+        R.point x y)
+  in
+  let ps = Array.append (cluster 0.0 0.0) (cluster 100.0 100.0) in
+  let assignment = R.ext.Ext.pick_split ps in
+  let side i = assignment.(i) in
+  (* All of cluster A on one side, all of cluster B on the other. *)
+  let a_side = side 0 in
+  let coherent = ref true in
+  for i = 1 to 9 do
+    if side i <> a_side then coherent := false
+  done;
+  for i = 10 to 19 do
+    if side i = a_side then coherent := false
+  done;
+  Alcotest.(check bool) "clusters separated" true !coherent
+
+let test_rtree_split_contract_random () =
+  let rng = Gist_util.Xoshiro.create 17 in
+  for _ = 1 to 50 do
+    let n = 2 + Gist_util.Xoshiro.int rng 30 in
+    let ps =
+      Array.init n (fun _ ->
+          R.rect
+            (Gist_util.Xoshiro.float rng 100.0)
+            (Gist_util.Xoshiro.float rng 100.0)
+            (Gist_util.Xoshiro.float rng 100.0)
+            (Gist_util.Xoshiro.float rng 100.0))
+    in
+    let a = R.ext.Ext.pick_split ps in
+    Alcotest.(check int) "length" n (Array.length a);
+    Alcotest.(check bool) "both sides non-empty" true
+      (Array.exists (fun b -> b) a && Array.exists (fun b -> not b) a)
+  done
+
+let test_rtree_codec () =
+  List.iter
+    (fun p ->
+      let b = Buffer.create 16 in
+      R.ext.Ext.encode b p;
+      let p' = R.ext.Ext.decode (Gist_util.Codec.reader (Buffer.to_bytes b)) in
+      Alcotest.(check bool) "roundtrip" true (R.ext.Ext.matches_exact p p'))
+    [ R.Empty; R.point 1.5 (-2.5); R.rect (-1.0) (-1.0) 1.0 1.0 ]
+
+(* --- Interval --- *)
+
+let test_interval_semantics () =
+  Alcotest.(check bool) "stab hit" true (I.ext.Ext.consistent (I.stab 5.0) (I.iv 1.0 10.0));
+  Alcotest.(check bool) "stab miss" false (I.ext.Ext.consistent (I.stab 15.0) (I.iv 1.0 10.0));
+  Alcotest.(check bool) "window overlap" true
+    (I.ext.Ext.consistent (I.iv 8.0 12.0) (I.iv 1.0 10.0));
+  let u = I.ext.Ext.union [ I.iv 1.0 3.0; I.iv 7.0 9.0 ] in
+  Alcotest.(check bool) "union hull" true (I.ext.Ext.matches_exact u (I.iv 1.0 9.0));
+  Alcotest.(check bool) "penalty grows" true
+    (I.ext.Ext.penalty (I.iv 0.0 1.0) (I.iv 5.0 6.0) > 0.0);
+  let ps = Array.init 10 (fun i -> I.iv (Float.of_int i) (Float.of_int i +. 0.5)) in
+  let a = I.ext.Ext.pick_split ps in
+  Alcotest.(check bool) "split contract" true
+    (Array.exists (fun b -> b) a && Array.exists (fun b -> not b) a)
+
+(* --- RD-tree --- *)
+
+let test_rd_set_ops () =
+  let a = RD.set [ 3; 1; 2; 3 ] and b = RD.set [ 3; 4 ] and c = RD.set [ 9 ] in
+  Alcotest.(check (list int)) "dedup+sort" [ 1; 2; 3 ] (RD.elements a);
+  Alcotest.(check bool) "overlap" true (RD.overlaps a b);
+  Alcotest.(check bool) "disjoint" false (RD.overlaps a c);
+  Alcotest.(check bool) "subset" true (RD.subset ~sub:(RD.set [ 1; 3 ]) ~super:a);
+  Alcotest.(check bool) "not subset" false (RD.subset ~sub:b ~super:a);
+  Alcotest.(check (list int)) "union nests" [ 1; 2; 3; 4 ]
+    (RD.elements (RD.ext.Ext.union [ a; b ]));
+  Alcotest.(check bool) "empty set" true (RD.set [] = RD.Empty);
+  Alcotest.(check (float 1e-9)) "penalty counts new elements" 1.0
+    (RD.ext.Ext.penalty a b);
+  Alcotest.(check bool) "matches_exact" true
+    (RD.ext.Ext.matches_exact (RD.set [ 2; 1 ]) (RD.set [ 1; 2 ]))
+
+let test_rd_codec_and_split () =
+  List.iter
+    (fun s ->
+      let b = Buffer.create 32 in
+      RD.ext.Ext.encode b s;
+      Alcotest.(check bool) "codec" true
+        (RD.ext.Ext.matches_exact s
+           (RD.ext.Ext.decode (Gist_util.Codec.reader (Buffer.to_bytes b)))))
+    [ RD.Empty; RD.set [ 5 ]; RD.set (List.init 40 (fun i -> i * 3)) ];
+  (* Two vocabulary clusters must separate. *)
+  let doc base = RD.set (List.init 5 (fun i -> base + i)) in
+  let ps = Array.init 12 (fun i -> if i < 6 then doc 0 else doc 1000) in
+  let a = RD.ext.Ext.pick_split ps in
+  let side0 = a.(0) in
+  Alcotest.(check bool) "clusters separated" true
+    (Array.for_all (fun x -> x = side0) (Array.sub a 0 6)
+    && Array.for_all (fun x -> x <> side0) (Array.sub a 6 6))
+
+let test_rd_gist_end_to_end () =
+  (* Documents tagged with keyword sets; queries = keyword overlap. *)
+  let config =
+    { Gist_core.Db.default_config with Gist_core.Db.max_entries = 8; page_size = 4096 }
+  in
+  let db = Gist_core.Db.create ~config () in
+  let t = Gist_core.Gist.create db RD.ext ~empty_bp:RD.Empty () in
+  let rng = Gist_util.Xoshiro.create 31 in
+  let docs =
+    List.init 300 (fun i ->
+        let tags =
+          List.init (1 + Gist_util.Xoshiro.int rng 6) (fun _ -> Gist_util.Xoshiro.int rng 200)
+        in
+        (i, RD.set tags))
+  in
+  let txn = Gist_txn.Txn_manager.begin_txn db.Gist_core.Db.txns in
+  List.iter
+    (fun (i, tags) ->
+      Gist_core.Gist.insert t txn ~key:tags ~rid:(Gist_storage.Rid.make ~page:1 ~slot:i))
+    docs;
+  let q = RD.set [ 17; 42 ] in
+  let expected =
+    List.filter (fun (_, tags) -> RD.overlaps q tags) docs
+    |> List.map fst |> List.sort compare
+  in
+  let got =
+    Gist_core.Gist.search t txn q
+    |> List.map (fun (_, r) -> r.Gist_storage.Rid.slot)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "overlap query matches brute force" expected got;
+  Gist_txn.Txn_manager.commit db.Gist_core.Db.txns txn;
+  let report = Gist_core.Tree_check.check t in
+  Alcotest.(check bool) "rd-tree invariants" true (Gist_core.Tree_check.ok report)
+
+(* --- End-to-end sanity on the other two access methods --- *)
+
+let test_rtree_gist_end_to_end () =
+  let config =
+    { Gist_core.Db.default_config with Gist_core.Db.max_entries = 8; page_size = 2048 }
+  in
+  let db = Gist_core.Db.create ~config () in
+  let t = Gist_core.Gist.create db R.ext ~empty_bp:R.Empty () in
+  let txn = Gist_txn.Txn_manager.begin_txn db.Gist_core.Db.txns in
+  let rng = Gist_util.Xoshiro.create 5 in
+  let pts =
+    List.init 300 (fun i ->
+        let x = Gist_util.Xoshiro.float rng 1000.0 in
+        let y = Gist_util.Xoshiro.float rng 1000.0 in
+        (i, x, y))
+  in
+  List.iter
+    (fun (i, x, y) ->
+      Gist_core.Gist.insert t txn ~key:(R.point x y)
+        ~rid:(Gist_storage.Rid.make ~page:1 ~slot:i))
+    pts;
+  (* Window query vs brute force. *)
+  let window = R.rect 200.0 200.0 600.0 600.0 in
+  let expected =
+    List.filter (fun (_, x, y) -> R.overlaps (R.point x y) window) pts
+    |> List.map (fun (i, _, _) -> i)
+    |> List.sort compare
+  in
+  let got =
+    Gist_core.Gist.search t txn window
+    |> List.map (fun (_, r) -> r.Gist_storage.Rid.slot)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "window query matches brute force" expected got;
+  Gist_txn.Txn_manager.commit db.Gist_core.Db.txns txn;
+  let report = Gist_core.Tree_check.check t in
+  Alcotest.(check bool) "rtree invariants" true (Gist_core.Tree_check.ok report)
+
+let test_interval_gist_end_to_end () =
+  let config =
+    { Gist_core.Db.default_config with Gist_core.Db.max_entries = 8; page_size = 2048 }
+  in
+  let db = Gist_core.Db.create ~config () in
+  let t = Gist_core.Gist.create db I.ext ~empty_bp:I.Empty () in
+  let txn = Gist_txn.Txn_manager.begin_txn db.Gist_core.Db.txns in
+  let ivs = List.init 200 (fun i -> (i, Float.of_int (i * 3), Float.of_int ((i * 3) + 10))) in
+  List.iter
+    (fun (i, lo, hi) ->
+      Gist_core.Gist.insert t txn ~key:(I.iv lo hi)
+        ~rid:(Gist_storage.Rid.make ~page:1 ~slot:i))
+    ivs;
+  let q = I.stab 100.0 in
+  let expected =
+    List.filter (fun (_, lo, hi) -> lo <= 100.0 && 100.0 <= hi) ivs
+    |> List.map (fun (i, _, _) -> i)
+    |> List.sort compare
+  in
+  let got =
+    Gist_core.Gist.search t txn q
+    |> List.map (fun (_, r) -> r.Gist_storage.Rid.slot)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "stabbing query matches brute force" expected got;
+  Gist_txn.Txn_manager.commit db.Gist_core.Db.txns txn;
+  let report = Gist_core.Tree_check.check t in
+  Alcotest.(check bool) "interval tree invariants" true (Gist_core.Tree_check.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "btree consistent" `Quick test_btree_consistent;
+    Alcotest.test_case "btree union/penalty" `Quick test_btree_union_penalty;
+    Alcotest.test_case "btree ordered split" `Quick test_btree_pick_split_ordered;
+    Alcotest.test_case "btree codec" `Quick test_btree_codec;
+    Alcotest.test_case "btree key_value" `Quick test_btree_key_value;
+    Alcotest.test_case "rtree geometry" `Quick test_rtree_geometry;
+    Alcotest.test_case "rtree union/penalty" `Quick test_rtree_union_penalty;
+    Alcotest.test_case "rtree quadratic split clusters" `Quick test_rtree_quadratic_split;
+    Alcotest.test_case "rtree split contract (random)" `Quick test_rtree_split_contract_random;
+    Alcotest.test_case "rtree codec" `Quick test_rtree_codec;
+    Alcotest.test_case "interval semantics" `Quick test_interval_semantics;
+    Alcotest.test_case "rd-tree set ops" `Quick test_rd_set_ops;
+    Alcotest.test_case "rd-tree codec+split" `Quick test_rd_codec_and_split;
+    Alcotest.test_case "rd-tree end-to-end" `Quick test_rd_gist_end_to_end;
+    Alcotest.test_case "rtree end-to-end" `Quick test_rtree_gist_end_to_end;
+    Alcotest.test_case "interval end-to-end" `Quick test_interval_gist_end_to_end;
+  ]

@@ -1,0 +1,218 @@
+(* Bulk loading tests: equivalence with incremental loading, crash safety
+   of the minimal-logging path, packing quality, and STR ordering. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module R = Gist_ams.Rtree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 512; page_size = 1024 }
+
+let check_tree t =
+  let report = Tree_check.check t in
+  Alcotest.(check bool) (Format.asprintf "%a" Tree_check.pp report) true (Tree_check.ok report)
+
+let keys_of db t =
+  let txn = Txn.begin_txn db.Db.txns in
+  let r =
+    Gist.search t txn (B.range min_int max_int)
+    |> List.map (fun (k, _) -> B.key_value k)
+    |> List.sort compare
+  in
+  Txn.commit db.Db.txns txn;
+  r
+
+let test_bulk_matches_incremental () =
+  let n = 1_000 in
+  let entries = Array.init n (fun i -> (B.key i, rid i)) in
+  let db = Db.create ~config () in
+  let t = Gist.bulk_load db B.ext ~empty_bp:B.Empty entries in
+  Alcotest.(check (list int)) "all keys present" (List.init n (fun i -> i)) (keys_of db t);
+  check_tree t;
+  (* Spot range queries. *)
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "range query" 11 (List.length (Gist.search t txn (B.range 500 510)));
+  Txn.commit db.Db.txns txn
+
+let test_bulk_sizes () =
+  List.iter
+    (fun n ->
+      let entries = Array.init n (fun i -> (B.key i, rid i)) in
+      let db = Db.create ~config () in
+      let t = Gist.bulk_load db B.ext ~empty_bp:B.Empty entries in
+      Alcotest.(check int) (Printf.sprintf "n=%d count" n) n (List.length (keys_of db t));
+      check_tree t)
+    [ 0; 1; 5; 8; 9; 64; 65; 100 ]
+
+let test_bulk_packing_quality () =
+  (* Bulk loading at fill=0.85 must use far fewer leaves than random-order
+     incremental inserts (which average ~50-70% occupancy after splits). *)
+  let n = 2_000 in
+  let db1 = Db.create ~config () in
+  let bulk =
+    Gist.bulk_load db1 B.ext ~fill:0.9 ~empty_bp:B.Empty
+      (Array.init n (fun i -> (B.key i, rid i)))
+  in
+  let db2 = Db.create ~config () in
+  let incr = Gist.create db2 B.ext ~empty_bp:B.Empty () in
+  let rng = Gist_util.Xoshiro.create 13 in
+  let order = Array.init n (fun i -> i) in
+  Gist_util.Xoshiro.shuffle rng order;
+  let txn = Txn.begin_txn db2.Db.txns in
+  Array.iter (fun i -> Gist.insert incr txn ~key:(B.key i) ~rid:(rid i)) order;
+  Txn.commit db2.Db.txns txn;
+  let bl = Gist.leaf_count bulk and il = Gist.leaf_count incr in
+  (* fill=0.9 of max_entries=8 ⇒ 7 entries per leaf ⇒ ⌈2000/7⌉ = 286. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bulk hits its packing target (%d leaves)" bl)
+    true (bl <= 290);
+  Alcotest.(check bool)
+    (Printf.sprintf "and beats incremental loading (%d vs %d leaves)" bl il)
+    true (bl < il);
+  check_tree bulk
+
+let test_bulk_crash_safety () =
+  (* The minimal-logging contract: after bulk_load returns, a crash (even
+     with no further forcing) must preserve the whole tree. *)
+  let n = 500 in
+  let db = Db.create ~config () in
+  let t = Gist.bulk_load db B.ext ~empty_bp:B.Empty (Array.init n (fun i -> (B.key i, rid i))) in
+  let root = Gist.root t in
+  let db' = Db.crash db in
+  Recovery.restart db' B.ext;
+  let t' = Gist.open_existing db' B.ext ~root () in
+  Alcotest.(check int) "all keys survive" n (List.length (keys_of db' t'));
+  check_tree t';
+  (* And the allocator was re-anchored: new inserts get fresh pages. *)
+  let txn = Txn.begin_txn db'.Db.txns in
+  for i = n to n + 200 do
+    Gist.insert t' txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db'.Db.txns txn;
+  Alcotest.(check int) "post-recovery growth" (n + 201) (List.length (keys_of db' t'));
+  check_tree t'
+
+let test_bulk_then_full_workload () =
+  let n = 800 in
+  let db = Db.create ~config () in
+  let t = Gist.bulk_load db B.ext ~empty_bp:B.Empty (Array.init n (fun i -> (B.key i, rid i))) in
+  (* Deletes, vacuums and aborts on a bulk-loaded tree. *)
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 0 to 399 do
+    ignore (Gist.delete t txn ~key:(B.key i) ~rid:(rid i))
+  done;
+  Txn.commit db.Db.txns txn;
+  Gist.vacuum t;
+  let loser = Txn.begin_txn db.Db.txns in
+  for i = 2_000 to 2_050 do
+    Gist.insert t loser ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.abort db.Db.txns loser;
+  Alcotest.(check int) "400 live after delete+vacuum+abort" 400
+    (List.length (keys_of db t));
+  check_tree t
+
+let test_str_sort_quality () =
+  (* STR-ordered bulk loading must produce dramatically less leaf overlap
+     than insertion-ordered loading of random points. *)
+  let n = 2_000 in
+  let rng = Gist_util.Xoshiro.create 6 in
+  let pts =
+    Array.init n (fun i ->
+        (R.point (Gist_util.Xoshiro.float rng 1000.0) (Gist_util.Xoshiro.float rng 1000.0), rid i))
+  in
+  let rconfig = { config with Db.page_size = 2048 } in
+  (* Unsorted bulk load: consecutive random points -> huge leaf boxes. *)
+  let db1 = Db.create ~config:rconfig () in
+  let messy = Gist.bulk_load db1 R.ext ~empty_bp:R.Empty (Array.copy pts) in
+  (* STR-ordered. *)
+  let sorted = Array.copy pts in
+  R.str_sort ~per_node:7 sorted;
+  let db2 = Db.create ~config:rconfig () in
+  let tidy = Gist.bulk_load db2 R.ext ~empty_bp:R.Empty sorted in
+  (* Compare total leaf-BP area (proxy for query page touches). *)
+  let leaf_area t db =
+    ignore db;
+    let total = ref 0.0 in
+    let rec walk pid =
+      Gist_storage.Buffer_pool.with_page (Gist.db t).Db.pool pid Gist_storage.Latch.S
+        (fun frame ->
+          let node = Node.read R.ext frame in
+          if Node.is_leaf node then `Leaf node.Node.bp
+          else
+            `Kids (Gist_util.Dyn.fold (fun l e -> e.Node.ie_child :: l) [] (Node.internal_entries node)))
+      |> function
+      | `Leaf bp -> total := !total +. R.area bp
+      | `Kids kids -> List.iter walk kids
+    in
+    walk (Gist.root t);
+    !total
+  in
+  let messy_area = leaf_area messy db1 and tidy_area = leaf_area tidy db2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "STR leaves are tighter (%.0f vs %.0f area)" tidy_area messy_area)
+    true
+    (tidy_area < 0.5 *. messy_area);
+  check_tree tidy;
+  check_tree messy;
+  (* Same result set either way. *)
+  let q = R.rect 100.0 100.0 200.0 200.0 in
+  let run db t =
+    let txn = Txn.begin_txn db.Db.txns in
+    let r =
+      Gist.search t txn q |> List.map (fun (_, r) -> r.Rid.slot) |> List.sort compare
+    in
+    Txn.commit db.Db.txns txn;
+    r
+  in
+  Alcotest.(check (list int)) "same query answers" (run db1 messy) (run db2 tidy)
+
+let test_crash_mid_bulk_load () =
+  (* Cut the durable prefix inside the bulk load's NTA: the half-built tree
+     must be reclaimed (its Get-Page records undone) and the environment
+     left fully usable. *)
+  let db = Db.create ~config () in
+  (* Run a committed baseline first so there is an anchor-free log. *)
+  let t0 = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 20 do
+    Gist.insert t0 txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  let before = Gist_wal.Log_manager.last_lsn db.Db.log in
+  let _bulk =
+    Gist.bulk_load db B.ext ~empty_bp:B.Empty (Array.init 400 (fun i -> (B.key (1000 + i), rid (1000 + i))))
+  in
+  (* Crash with only part of the bulk NTA durable. *)
+  let after = Gist_wal.Log_manager.last_lsn db.Db.log in
+  let mid = Int64.add before (Int64.div (Int64.sub after before) 2L) in
+  Gist_wal.Log_manager.force db.Db.log mid;
+  let root0 = Gist.root t0 in
+  let db' = Db.crash db in
+  Recovery.restart db' B.ext;
+  let t0' = Gist.open_existing db' B.ext ~root:root0 () in
+  let txn = Txn.begin_txn db'.Db.txns in
+  Alcotest.(check int) "baseline intact" 20 (List.length (Gist.search t0' txn (B.range 1 100)));
+  Txn.commit db'.Db.txns txn;
+  check_tree t0';
+  (* The environment still builds new trees fine. *)
+  let t2 =
+    Gist.bulk_load db' B.ext ~empty_bp:B.Empty (Array.init 100 (fun i -> (B.key i, rid (5000 + i))))
+  in
+  Alcotest.(check int) "fresh bulk load on recovered env" 100 (Gist.entry_count t2);
+  check_tree t2
+
+let suite =
+  [
+    Alcotest.test_case "bulk matches incremental" `Quick test_bulk_matches_incremental;
+    Alcotest.test_case "bulk sizes incl. edge cases" `Quick test_bulk_sizes;
+    Alcotest.test_case "bulk packing quality" `Quick test_bulk_packing_quality;
+    Alcotest.test_case "bulk crash safety" `Quick test_bulk_crash_safety;
+    Alcotest.test_case "bulk then full workload" `Quick test_bulk_then_full_workload;
+    Alcotest.test_case "STR sort quality" `Quick test_str_sort_quality;
+    Alcotest.test_case "crash mid bulk load" `Quick test_crash_mid_bulk_load;
+  ]

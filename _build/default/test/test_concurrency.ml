@@ -1,0 +1,324 @@
+(* Multicore concurrency tests (experiments E1/E2 correctness side).
+
+   - A deterministic replay of Figures 1 and 2: a search is paused between
+     reading the parent and visiting the target leaf while an insert splits
+     that leaf; with the NSN/rightlink protocol the search must still find
+     every key.
+   - Multi-domain stress runs over disjoint and overlapping key ranges,
+     with deadlock-abort-retry, followed by full invariant checks. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+module Lock_manager = Gist_txn.Lock_manager
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 512; page_size = 1024 }
+
+let make () =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  (db, t)
+
+let check_tree t =
+  let report = Tree_check.check t in
+  Alcotest.(check bool) (Format.asprintf "%a" Tree_check.pp report) true (Tree_check.ok report)
+
+(* --- Figure 1 / Figure 2 deterministic interleaving --- *)
+
+let test_search_survives_concurrent_split () =
+  let db, t = make () in
+  (* Build a 2-level tree: root with two leaves; leaf B holds the upper
+     keys including 7, and is one key away from splitting. *)
+  let setup = Txn.begin_txn db.Db.txns in
+  List.iter
+    (fun i -> Gist.insert t setup ~key:(B.key i) ~rid:(rid i))
+    [ 1; 2; 3; 4; 5; 6; 7; 9; 11; 13; 15; 17; 19 ];
+  Txn.commit db.Db.txns setup;
+  Alcotest.(check bool) "two levels" true (Gist.height t >= 2);
+  (* Find the leaf holding key 7. *)
+  let searcher_paused = Semaphore.Binary.make false in
+  let split_done = Semaphore.Binary.make false in
+  let in_searcher = Atomic.make false in
+  let paused_once = Atomic.make false in
+  Gist.set_hook t (fun ev ->
+      if
+        Atomic.get in_searcher
+        && String.length ev > 13
+        && String.sub ev 0 13 = "search:visit:"
+        && (not (String.equal ev "search:visit:P1"))
+        && not (Atomic.get paused_once)
+      then begin
+        (* Pause before visiting the first non-root node: the classic
+           Figure 1 window. *)
+        Atomic.set paused_once true;
+        Semaphore.Binary.release searcher_paused;
+        Semaphore.Binary.acquire split_done
+      end);
+  let result = ref [] in
+  let searcher =
+    Domain.spawn (fun () ->
+        Atomic.set in_searcher true;
+        let txn = Txn.begin_txn db.Db.txns in
+        let r = Gist.search t txn (B.range 1 30) in
+        Txn.commit db.Db.txns txn;
+        Atomic.set in_searcher false;
+        result := List.map (fun (k, _) -> B.key_value k) r)
+  in
+  (* Wait until the searcher is inside the Figure-1 window, then force
+     splits by filling the rightmost leaf. The inserted keys lie *outside*
+     the scan range so the inserter does not block on the paused scan's
+     predicate (the §4.3 behavior the paper documents) — but the splits
+     still relocate scanned keys to new right siblings. *)
+  Semaphore.Binary.acquire searcher_paused;
+  let inserter = Txn.begin_txn db.Db.txns in
+  List.iter
+    (fun i -> Gist.insert t inserter ~key:(B.key i) ~rid:(rid i))
+    [ 31; 32; 33; 34; 35; 36; 37; 38; 39; 40; 41; 42; 43; 44; 45 ];
+  Txn.commit db.Db.txns inserter;
+  Semaphore.Binary.release split_done;
+  Domain.join searcher;
+  (* The paused search must still see every pre-existing key: the split
+     moved some of them right, and the NSN/rightlink protocol compensates
+     (Figure 2). The new inserts may or may not be visible — they
+     committed mid-scan — but none of the old keys may be lost. *)
+  let got = List.sort compare !result in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d not lost across split" k)
+        true (List.mem k got))
+    [ 1; 2; 3; 4; 5; 6; 7; 9; 11; 13; 15; 17; 19 ];
+  check_tree t
+
+(* --- multi-domain stress --- *)
+
+let run_domains n f =
+  let domains = List.init n (fun i -> Domain.spawn (fun () -> f i)) in
+  List.iter Domain.join domains
+
+(* Run [work txn] in a fresh transaction, aborting and retrying on
+   deadlock. *)
+let rec with_retry db work =
+  let txn = Txn.begin_txn db.Db.txns in
+  match work txn with
+  | v ->
+    Txn.commit db.Db.txns txn;
+    v
+  | exception Lock_manager.Deadlock _ ->
+    Txn.abort db.Db.txns txn;
+    with_retry db work
+
+let test_parallel_disjoint_inserts () =
+  let db, t = make () in
+  let n_domains = 4 and per_domain = 400 in
+  run_domains n_domains (fun d ->
+      for i = 0 to per_domain - 1 do
+        let k = (d * 10_000) + i in
+        with_retry db (fun txn -> Gist.insert t txn ~key:(B.key k) ~rid:(rid k))
+      done);
+  let txn = Txn.begin_txn db.Db.txns in
+  let found = Gist.search t txn (B.range 0 100_000) in
+  Txn.commit db.Db.txns txn;
+  Alcotest.(check int) "no lost inserts" (n_domains * per_domain) (List.length found);
+  check_tree t
+
+let test_parallel_mixed_ops () =
+  let db, t = make () in
+  (* Preload. *)
+  let setup = Txn.begin_txn db.Db.txns in
+  for i = 0 to 999 do
+    Gist.insert t setup ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns setup;
+  (* Each domain owns a disjoint slice and randomly inserts/deletes/scans
+     within it; scans over the whole range run concurrently. *)
+  let n_domains = 4 in
+  let live = Array.init n_domains (fun _ -> Hashtbl.create 64) in
+  run_domains n_domains (fun d ->
+      let rng = Gist_util.Xoshiro.create (1000 + d) in
+      let lo = d * 250 and hi = ((d + 1) * 250) - 1 in
+      for k = lo to hi do
+        Hashtbl.replace live.(d) k ()
+      done;
+      for _ = 1 to 200 do
+        let k = lo + Gist_util.Xoshiro.int rng 250 in
+        match Gist_util.Xoshiro.int rng 3 with
+        | 0 ->
+          if not (Hashtbl.mem live.(d) k) then begin
+            with_retry db (fun txn -> Gist.insert t txn ~key:(B.key k) ~rid:(rid k));
+            Hashtbl.replace live.(d) k ()
+          end
+        | 1 ->
+          if Hashtbl.mem live.(d) k then begin
+            ignore
+              (with_retry db (fun txn -> Gist.delete t txn ~key:(B.key k) ~rid:(rid k)));
+            Hashtbl.remove live.(d) k
+          end
+        | _ ->
+          ignore
+            (with_retry db (fun txn -> Gist.search t txn (B.range lo (lo + 20))))
+      done);
+  let expected =
+    Array.to_list live
+    |> List.concat_map (fun h -> Hashtbl.fold (fun k () acc -> k :: acc) h [])
+    |> List.sort compare
+  in
+  let txn = Txn.begin_txn db.Db.txns in
+  let got =
+    Gist.search t txn (B.range 0 2000) |> List.map (fun (k, _) -> B.key_value k)
+    |> List.sort compare
+  in
+  Txn.commit db.Db.txns txn;
+  Alcotest.(check (list int)) "final state matches per-domain journals" expected got;
+  check_tree t
+
+let test_parallel_with_vacuum () =
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  for i = 0 to 499 do
+    Gist.insert t setup ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns setup;
+  let stop = Atomic.make false in
+  let vacuumer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Gist.vacuum t;
+          Domain.cpu_relax ()
+        done)
+  in
+  run_domains 3 (fun d ->
+      let lo = d * 160 in
+      for k = lo to lo + 150 do
+        ignore (with_retry db (fun txn -> Gist.delete t txn ~key:(B.key k) ~rid:(rid k)))
+      done;
+      for k = lo to lo + 150 do
+        with_retry db (fun txn -> Gist.insert t txn ~key:(B.key (1000 + k)) ~rid:(rid (1000 + k)))
+      done);
+  Atomic.set stop true;
+  Domain.join vacuumer;
+  Gist.vacuum t;
+  let txn = Txn.begin_txn db.Db.txns in
+  let got = Gist.search t txn (B.range 0 3000) |> List.length in
+  Txn.commit db.Db.txns txn;
+  (* 500 preloaded - 3*151 deleted (ranges 0..150,160..310,320..470 all within 0..479) + 3*151 inserted *)
+  Alcotest.(check int) "counts add up" 500 got;
+  check_tree t
+
+let test_concurrent_searches_consistent () =
+  (* Readers running against a static tree must all see the same answer,
+     from many domains at once. *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  for i = 0 to 299 do
+    Gist.insert t setup ~key:(B.key (2 * i)) ~rid:(rid (2 * i))
+  done;
+  Txn.commit db.Db.txns setup;
+  let failures = Atomic.make 0 in
+  run_domains 6 (fun _ ->
+      for _ = 1 to 50 do
+        let txn = Txn.begin_txn db.Db.txns in
+        let n = List.length (Gist.search t txn (B.range 0 598)) in
+        Txn.commit db.Db.txns txn;
+        if n <> 300 then Atomic.incr failures
+      done);
+  Alcotest.(check int) "every scan saw all 300 keys" 0 (Atomic.get failures);
+  check_tree t
+
+let test_soak_chaos () =
+  (* A longer adversarial soak: domains mix searches, inserts, deletes and
+     aborts over overlapping ranges while a vacuum domain runs; then crash
+     mid-flight and recover. Committed state is tracked per domain in
+     disjoint stripes so the final check is exact. *)
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let n_domains = 4 in
+  let committed = Array.init n_domains (fun _ -> Hashtbl.create 128) in
+  let stop = Atomic.make false in
+  let vacuumer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Gist.vacuum t;
+          Domain.cpu_relax ()
+        done)
+  in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Gist_util.Xoshiro.create (7_000 + d) in
+            let stripe = d * 100_000 in
+            for _ = 1 to 60 do
+              let txn = Txn.begin_txn db.Db.txns in
+              let journal = ref [] in
+              (try
+                 for _ = 1 to 8 do
+                   let k = stripe + Gist_util.Xoshiro.int rng 500 in
+                   match Gist_util.Xoshiro.int rng 3 with
+                   | 0 ->
+                     if not (Hashtbl.mem committed.(d) k || List.mem_assoc k !journal) then begin
+                       Gist.insert t txn ~key:(B.key k) ~rid:(rid k);
+                       journal := (k, `Ins) :: !journal
+                     end
+                   | 1 ->
+                     if Hashtbl.mem committed.(d) k && not (List.mem_assoc k !journal) then
+                       if Gist.delete t txn ~key:(B.key k) ~rid:(rid k) then
+                         journal := (k, `Del) :: !journal
+                   | _ ->
+                     ignore (Gist.search t txn (B.range stripe (stripe + 50)))
+                 done;
+                 if Gist_util.Xoshiro.int rng 5 = 0 then begin
+                   Txn.abort db.Db.txns txn
+                   (* journal discarded *)
+                 end
+                 else begin
+                   Txn.commit db.Db.txns txn;
+                   List.iter
+                     (fun (k, op) ->
+                       match op with
+                       | `Ins -> Hashtbl.replace committed.(d) k ()
+                       | `Del -> Hashtbl.remove committed.(d) k)
+                     !journal
+                 end
+               with Gist_txn.Lock_manager.Deadlock _ -> Txn.abort db.Db.txns txn)
+            done))
+  in
+  List.iter Domain.join workers;
+  Atomic.set stop true;
+  Domain.join vacuumer;
+  (* Crash with everything durable, restart, verify the union of the
+     committed stripes. *)
+  Gist_wal.Log_manager.force_all db.Db.log;
+  let root = Gist.root t in
+  let db' = Db.crash db in
+  Recovery.restart db' B.ext;
+  let t' = Gist.open_existing db' B.ext ~root () in
+  let expected =
+    Array.to_list committed
+    |> List.concat_map (fun h -> Hashtbl.fold (fun k () acc -> k :: acc) h [])
+    |> List.sort compare
+  in
+  let txn = Txn.begin_txn db'.Db.txns in
+  let got =
+    Gist.search t' txn (B.range 0 10_000_000)
+    |> List.map (fun (k, _) -> B.key_value k)
+    |> List.sort compare
+  in
+  Txn.commit db'.Db.txns txn;
+  Alcotest.(check (list int)) "soak: recovered state = committed journals" expected got;
+  check_tree t'
+
+let suite =
+  [
+    Alcotest.test_case "figure 1/2: search survives concurrent split" `Quick
+      test_search_survives_concurrent_split;
+    Alcotest.test_case "parallel disjoint inserts" `Quick test_parallel_disjoint_inserts;
+    Alcotest.test_case "parallel mixed ops" `Quick test_parallel_mixed_ops;
+    Alcotest.test_case "parallel ops with concurrent vacuum" `Quick test_parallel_with_vacuum;
+    Alcotest.test_case "concurrent searches consistent" `Quick
+      test_concurrent_searches_consistent;
+    Alcotest.test_case "soak: chaos + crash + recovery" `Slow test_soak_chaos;
+  ]

@@ -1,0 +1,206 @@
+(* Cursor tests: incremental scans, isolation, savepoint save/restore
+   (§10.2). *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 128; page_size = 1024 }
+
+let make ?(n = 0) () =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  if n > 0 then begin
+    let txn = Txn.begin_txn db.Db.txns in
+    for i = 1 to n do
+      Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+    done;
+    Txn.commit db.Db.txns txn
+  end;
+  (db, t)
+
+let drain cursor =
+  let rec loop acc =
+    match Cursor.next cursor with
+    | Some (k, _) -> loop (B.key_value k :: acc)
+    | None -> List.sort compare acc
+  in
+  loop []
+
+let take n cursor =
+  let rec loop n acc =
+    if n = 0 then List.rev acc
+    else
+      match Cursor.next cursor with
+      | Some (k, _) -> loop (n - 1) (B.key_value k :: acc)
+      | None -> List.rev acc
+  in
+  loop n []
+
+let test_full_scan_matches_search () =
+  let db, t = make ~n:200 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let expected =
+    Gist.search t txn (B.range 50 150)
+    |> List.map (fun (k, _) -> B.key_value k)
+    |> List.sort compare
+  in
+  let cursor = Cursor.open_ t txn (B.range 50 150) in
+  Alcotest.(check (list int)) "cursor = search" expected (drain cursor);
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn
+
+let test_no_duplicates_no_misses () =
+  let db, t = make ~n:500 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 500) in
+  let results = drain cursor in
+  Alcotest.(check int) "500 results" 500 (List.length results);
+  Alcotest.(check (list int)) "each exactly once" (List.init 500 (fun i -> i + 1)) results;
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn
+
+let test_exhausted_cursor_stays_none () =
+  let db, t = make ~n:5 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 5) in
+  ignore (drain cursor);
+  Alcotest.(check bool) "still none" true (Cursor.next cursor = None);
+  Cursor.close cursor;
+  Alcotest.(check bool) "none after close" true (Cursor.next cursor = None);
+  Txn.commit db.Db.txns txn
+
+let test_cursor_skips_marked () =
+  let db, t = make ~n:20 () in
+  let del = Txn.begin_txn db.Db.txns in
+  for i = 1 to 10 do
+    ignore (Gist.delete t del ~key:(B.key i) ~rid:(rid i))
+  done;
+  Txn.commit db.Db.txns del;
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 20) in
+  Alcotest.(check (list int)) "only live keys" (List.init 10 (fun i -> i + 11)) (drain cursor);
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn
+
+let test_cursor_blocks_phantom_insert () =
+  (* An insert into the cursor's range must wait for the cursor's
+     transaction even before the cursor reaches that region. *)
+  let db, t = make ~n:50 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 50) in
+  ignore (take 5 cursor);
+  let done_flag = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let w = Txn.begin_txn db.Db.txns in
+        Gist.insert t w ~key:(B.key 25) ~rid:(rid 925);
+        Txn.commit db.Db.txns w;
+        Atomic.set done_flag true)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.1 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "insert blocked by cursor predicate" false (Atomic.get done_flag);
+  (* The cursor still sees a stable world. *)
+  Alcotest.(check int) "remaining results stable" 45 (List.length (take 50 cursor));
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn;
+  let t1 = Gist_util.Clock.now_ns () in
+  while (not (Atomic.get done_flag)) && Gist_util.Clock.elapsed_s t1 < 5.0 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "insert proceeds after commit" true (Atomic.get done_flag);
+  Domain.join d
+
+let test_save_restore () =
+  let db, t = make ~n:100 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 100) in
+  let first_ten = take 10 cursor in
+  let snap = Cursor.save cursor in
+  let after_snap = take 20 cursor in
+  Cursor.restore cursor snap;
+  let replay = take 20 cursor in
+  Alcotest.(check (list int)) "restored cursor replays the same results" after_snap replay;
+  (* Nothing returned before the snapshot is returned again. *)
+  let rest = drain cursor in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Printf.sprintf "key %d not re-delivered" k) false
+        (List.mem k rest))
+    (first_ten @ replay);
+  Alcotest.(check int) "total coverage exactly once" 100
+    (List.length first_ten + List.length replay + List.length rest);
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn
+
+let test_save_restore_with_partial_rollback () =
+  (* The §10.2 scenario: savepoint + cursor snapshot, more reads, own
+     inserts, then rollback to the savepoint and cursor restore. *)
+  let db, t = make ~n:60 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 1000) in
+  let before = take 10 cursor in
+  Txn.savepoint db.Db.txns txn "sp";
+  let snap = Cursor.save cursor in
+  let seen_after = take 10 cursor in
+  (* Transaction work after the savepoint... *)
+  Gist.insert t txn ~key:(B.key 500) ~rid:(rid 500);
+  (* ...rolled back. *)
+  Txn.rollback_to_savepoint db.Db.txns txn "sp";
+  Cursor.restore cursor snap;
+  let replay = take 10 cursor in
+  Alcotest.(check (list int)) "replay matches (rolled-back insert invisible)" seen_after replay;
+  let rest = drain cursor in
+  Alcotest.(check int) "every original key exactly once" 60
+    (List.length before + List.length replay + List.length rest);
+  Alcotest.(check bool) "rolled-back key not delivered" false
+    (List.mem 500 (before @ replay @ rest));
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn
+
+let test_cursor_across_concurrent_splits () =
+  (* Start a cursor, let writers split nodes elsewhere, finish the scan:
+     no preloaded key may be lost or duplicated. *)
+  let db, t = make ~n:300 () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let cursor = Cursor.open_ t txn (B.range 1 300) in
+  let first = take 50 cursor in
+  let writers =
+    List.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to 150 do
+              let k = 1000 + (w * 1000) + i in
+              let wtxn = Txn.begin_txn db.Db.txns in
+              Gist.insert t wtxn ~key:(B.key k) ~rid:(rid k);
+              Txn.commit db.Db.txns wtxn
+            done))
+  in
+  List.iter Domain.join writers;
+  let rest = drain cursor in
+  Alcotest.(check (list int)) "no losses, no duplicates"
+    (List.init 300 (fun i -> i + 1))
+    (List.sort compare (first @ rest));
+  Cursor.close cursor;
+  Txn.commit db.Db.txns txn;
+  let report = Tree_check.check t in
+  Alcotest.(check bool) "tree consistent" true (Tree_check.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "full scan matches search" `Quick test_full_scan_matches_search;
+    Alcotest.test_case "no duplicates, no misses" `Quick test_no_duplicates_no_misses;
+    Alcotest.test_case "exhausted stays none" `Quick test_exhausted_cursor_stays_none;
+    Alcotest.test_case "skips marked entries" `Quick test_cursor_skips_marked;
+    Alcotest.test_case "blocks phantom insert" `Quick test_cursor_blocks_phantom_insert;
+    Alcotest.test_case "save/restore" `Quick test_save_restore;
+    Alcotest.test_case "save/restore with partial rollback" `Quick
+      test_save_restore_with_partial_rollback;
+    Alcotest.test_case "survives concurrent splits" `Quick test_cursor_across_concurrent_splits;
+  ]

@@ -1,0 +1,333 @@
+(* Edge cases and robustness: oversized keys, deep trees, empty-range
+   scans, crash during vacuum's node-deletion NTA, pool exhaustion, and
+   log-record fuzzing. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module RD = Gist_ams.Rd_tree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+module Log = Gist_wal.Log_manager
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 64; page_size = 1024 }
+
+let check t = Alcotest.(check bool) "tree consistent" true (Tree_check.ok (Tree_check.check t))
+
+let test_oversized_key_rejected () =
+  (* An RD-tree key too large for a page must be rejected up front, not
+     spin in the split loop. *)
+  let db = Db.create ~config:{ config with Db.page_size = 256; max_entries = 64 } () in
+  let t = Gist.create db RD.ext ~empty_bp:RD.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  let huge = RD.set (List.init 200 (fun i -> i)) in
+  Alcotest.(check bool) "rejected with Invalid_argument" true
+    (match Gist.insert t txn ~key:huge ~rid:(rid 1) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  (* The transaction remains usable. *)
+  Gist.insert t txn ~key:(RD.set [ 1; 2 ]) ~rid:(rid 2);
+  Txn.commit db.Db.txns txn;
+  check t
+
+let test_deep_tree_operations () =
+  (* Minimal fanout forces a tall tree; everything must keep working. *)
+  let deep_config = { config with Db.max_entries = 4; pool_capacity = 512 } in
+  let db = Db.create ~config:deep_config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 3_000 do
+    Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  Alcotest.(check bool) (Printf.sprintf "tall tree (height %d)" (Gist.height t)) true
+    (Gist.height t >= 6);
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "point query at depth" 1 (List.length (Gist.search t txn (B.key 1500)));
+  for i = 1 to 1_500 do
+    ignore (Gist.delete t txn ~key:(B.key i) ~rid:(rid i))
+  done;
+  Txn.commit db.Db.txns txn;
+  Gist.vacuum t;
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "half remain" 1_500 (List.length (Gist.search t txn (B.range 1 5_000)));
+  Txn.commit db.Db.txns txn;
+  check t;
+  (* And it recovers. *)
+  Gist_wal.Log_manager.force_all db.Db.log;
+  let root = Gist.root t in
+  let db' = Db.crash db in
+  Recovery.restart db' B.ext;
+  let t' = Gist.open_existing db' B.ext ~root () in
+  let txn = Txn.begin_txn db'.Db.txns in
+  Alcotest.(check int) "deep recovery" 1_500 (List.length (Gist.search t' txn (B.range 1 5_000)));
+  Txn.commit db'.Db.txns txn;
+  check t'
+
+let test_empty_and_degenerate_queries () =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 50 do
+    Gist.insert t txn ~key:(B.key (i * 10)) ~rid:(rid i)
+  done;
+  (* Empty predicate: consistent with nothing. *)
+  Alcotest.(check int) "empty query" 0 (List.length (Gist.search t txn B.Empty));
+  (* Range between keys. *)
+  Alcotest.(check int) "gap range" 0 (List.length (Gist.search t txn (B.range 11 19)));
+  (* Range covering everything and more. *)
+  Alcotest.(check int) "universe" 50
+    (List.length (Gist.search t txn (B.range min_int max_int)));
+  (* Inverted bounds are normalized by the constructor. *)
+  Alcotest.(check int) "inverted bounds" 50 (List.length (Gist.search t txn (B.range 500 10)));
+  Txn.commit db.Db.txns txn
+
+let test_crash_during_vacuum_nta () =
+  (* Cut the durable prefix inside a node-deletion NTA (after the parent
+     entry removal, before the NTA closes): restart must roll the deletion
+     back and leave a consistent tree. *)
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 200 do
+    Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 150 do
+    ignore (Gist.delete t txn ~key:(B.key i) ~rid:(rid i))
+  done;
+  Txn.commit db.Db.txns txn;
+  let delete_lsn = ref Gist_wal.Lsn.nil in
+  Gist.set_hook t (fun ev ->
+      if
+        String.length ev > 12
+        && String.sub ev 0 12 = "node-delete:"
+        && Gist_wal.Lsn.equal !delete_lsn Gist_wal.Lsn.nil
+      then delete_lsn := Log.last_lsn db.Db.log);
+  Gist.vacuum t;
+  Gist.set_hook t ignore;
+  Alcotest.(check bool) "a node deletion happened" true
+    (not (Gist_wal.Lsn.equal !delete_lsn Gist_wal.Lsn.nil));
+  (* The hook fired just before the NTA's records; cut shortly after so the
+     deletion is half-durable. *)
+  Log.force db.Db.log (Int64.add !delete_lsn 2L);
+  let root = Gist.root t in
+  let db' = Db.crash db in
+  Recovery.restart db' B.ext;
+  let t' = Gist.open_existing db' B.ext ~root () in
+  let txn = Txn.begin_txn db'.Db.txns in
+  Alcotest.(check int) "survivors exact" 50
+    (List.length (Gist.search t' txn (B.range 1 1000)));
+  Txn.commit db'.Db.txns txn;
+  check t'
+
+let test_pool_smaller_than_everything () =
+  (* Minimum-size pool: every operation thrashes; correctness must hold. *)
+  let tiny = { config with Db.pool_capacity = 4 } in
+  let db = Db.create ~config:tiny () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 300 do
+    Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "all present under thrash" 300
+    (List.length (Gist.search t txn (B.range 1 300)));
+  Txn.commit db.Db.txns txn;
+  Alcotest.(check bool) "heavy eviction happened" true
+    (Gist_storage.Buffer_pool.evictions db.Db.pool > 100);
+  check t
+
+let test_many_duplicate_keys_across_splits () =
+  (* 500 entries with the same key must spread over many leaves and all be
+     retrievable; deleting one specific RID leaves the other 499. *)
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 500 do
+    Gist.insert t txn ~key:(B.key 7) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  Alcotest.(check bool) "spread over leaves" true (Gist.leaf_count t > 10);
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "all 500" 500 (List.length (Gist.search t txn (B.key 7)));
+  Alcotest.(check bool) "delete one rid" true (Gist.delete t txn ~key:(B.key 7) ~rid:(rid 250));
+  Alcotest.(check int) "499 left" 499 (List.length (Gist.search t txn (B.key 7)));
+  Txn.commit db.Db.txns txn;
+  check t
+
+let test_log_record_fuzz_roundtrip () =
+  (* Randomized payloads (beyond the fixed catalog) must round-trip. *)
+  let rng = Gist_util.Xoshiro.create 123 in
+  let rand_string () =
+    String.init (Gist_util.Xoshiro.int rng 40) (fun _ ->
+        Char.chr (Gist_util.Xoshiro.int rng 256))
+  in
+  let rand_pid () = Gist_storage.Page_id.of_int (Gist_util.Xoshiro.int rng 10_000) in
+  let rand_rid () =
+    Rid.make ~page:(Gist_util.Xoshiro.int rng 1_000) ~slot:(Gist_util.Xoshiro.int rng 100_000)
+  in
+  let rand_lsn () = Int64.of_int (Gist_util.Xoshiro.int rng 1_000_000) in
+  let module LR = Gist_wal.Log_record in
+  for i = 1 to 500 do
+    let payload =
+      match Gist_util.Xoshiro.int rng 7 with
+      | 0 ->
+        LR.Split
+          {
+            orig = rand_pid ();
+            right = rand_pid ();
+            moved = List.init (Gist_util.Xoshiro.int rng 10) (fun _ -> rand_string ());
+            orig_old_nsn = rand_lsn ();
+            orig_new_nsn = rand_lsn ();
+            orig_old_rightlink = rand_pid ();
+            level = Gist_util.Xoshiro.int rng 10;
+          }
+      | 1 -> LR.Add_leaf_entry { page = rand_pid (); nsn = rand_lsn (); entry = rand_string (); rid = rand_rid () }
+      | 2 -> LR.Garbage_collection { page = rand_pid (); rids = List.init (Gist_util.Xoshiro.int rng 20) (fun _ -> rand_rid ()) }
+      | 3 ->
+        LR.Clr
+          {
+            action = LR.Act_apply (LR.Unmark_leaf_entry { page = rand_pid (); rid = rand_rid () });
+            undo_next = rand_lsn ();
+          }
+      | 4 ->
+        LR.Checkpoint_end
+          {
+            dirty_pages = List.init (Gist_util.Xoshiro.int rng 15) (fun _ -> (rand_pid (), rand_lsn ()));
+            active_txns = [];
+            allocator = rand_string ();
+          }
+      | 5 -> LR.Parent_entry_update { parent = rand_pid (); child = rand_pid (); new_bp = rand_string () }
+      | _ -> LR.Format_node { page = rand_pid (); level = Gist_util.Xoshiro.int rng 5; bp = rand_string () }
+    in
+    let record =
+      {
+        LR.lsn = rand_lsn ();
+        txn = Gist_util.Txn_id.of_int (Gist_util.Xoshiro.int rng 1_000);
+        prev = rand_lsn ();
+        ext = rand_string ();
+        payload;
+      }
+    in
+    let b = Buffer.create 128 in
+    LR.encode b record;
+    let decoded = LR.decode (Gist_util.Codec.reader (Buffer.to_bytes b)) in
+    Alcotest.(check bool) (Printf.sprintf "fuzz %d roundtrips" i) true (decoded = record)
+  done
+
+let test_decode_garbage_is_corrupt () =
+  (* Decoding arbitrary bytes must raise Codec.Corrupt (or produce a value),
+     never crash — log and page readers depend on it after torn writes. *)
+  let rng = Gist_util.Xoshiro.create 777 in
+  let survived = ref 0 in
+  for _ = 1 to 2_000 do
+    let len = Gist_util.Xoshiro.int rng 120 in
+    let garbage =
+      Bytes.init len (fun _ -> Char.chr (Gist_util.Xoshiro.int rng 256))
+    in
+    (match Gist_wal.Log_record.decode (Gist_util.Codec.reader garbage) with
+    | _ -> incr survived
+    | exception Gist_util.Codec.Corrupt _ -> ()
+    | exception _ -> Alcotest.fail "non-Corrupt exception from log decode");
+    (match B.ext.Gist_core.Ext.decode (Gist_util.Codec.reader garbage) with
+    | _ -> ()
+    | exception Gist_util.Codec.Corrupt _ -> ()
+    | exception _ -> Alcotest.fail "non-Corrupt exception from key decode")
+  done;
+  (* Some random byte strings can legitimately parse; just don't crash. *)
+  Alcotest.(check bool) "ran" true (!survived >= 0)
+
+let test_rc_scan_under_splits () =
+  (* Read-committed scans run the same link protocol: no lost committed
+     keys across concurrent splits. *)
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let setup = Txn.begin_txn db.Db.txns in
+  for i = 1 to 500 do
+    Gist.insert t setup ~key:(B.key (i * 10)) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns setup;
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let rng = Gist_util.Xoshiro.create 31 in
+        let seq = ref 0 in
+        while not (Atomic.get stop) do
+          incr seq;
+          let k = (Gist_util.Xoshiro.int rng 4_990 * 1) + 1 in
+          let txn = Txn.begin_txn db.Db.txns in
+          Gist.insert t txn ~key:(B.key k) ~rid:(Rid.make ~page:2 ~slot:!seq);
+          Txn.commit db.Db.txns txn
+        done)
+  in
+  let lossy = ref 0 in
+  for _ = 1 to 30 do
+    let txn = Txn.begin_txn db.Db.txns in
+    let found =
+      Gist.search ~isolation:`Read_committed t txn (B.range 1 5_000)
+      |> List.filter (fun (k, _) -> B.key_value k mod 10 = 0)
+      |> List.length
+    in
+    Txn.commit db.Db.txns txn;
+    if found < 500 then incr lossy
+  done;
+  Atomic.set stop true;
+  Domain.join writer;
+  Alcotest.(check int) "no committed keys lost by RC scans" 0 !lossy
+
+let test_multitree_truncation () =
+  (* Truncation in a multi-extension environment must leave both trees
+     recoverable. *)
+  let db = Db.create ~config:{ config with Db.page_size = 2048 } () in
+  let a = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let b = Gist.create db Gist_ams.Rtree_ext.ext ~empty_bp:Gist_ams.Rtree_ext.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 100 do
+    Gist.insert a txn ~key:(B.key i) ~rid:(rid i);
+    Gist.insert b txn
+      ~key:(Gist_ams.Rtree_ext.point (Float.of_int i) 1.0)
+      ~rid:(Rid.make ~page:2 ~slot:i)
+  done;
+  Txn.commit db.Db.txns txn;
+  Gist_storage.Buffer_pool.flush_all db.Db.pool;
+  Db.checkpoint db;
+  Alcotest.(check bool) "truncated" true (Db.truncate_log db > 100);
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 101 to 150 do
+    Gist.insert a txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  let ra = Gist.root a and rb = Gist.root b in
+  let db' = Db.crash db in
+  Recovery.restart_multi db' [ Ext.Packed B.ext; Ext.Packed Gist_ams.Rtree_ext.ext ];
+  let a' = Gist.open_existing db' B.ext ~root:ra () in
+  let b' = Gist.open_existing db' Gist_ams.Rtree_ext.ext ~root:rb () in
+  let txn = Txn.begin_txn db'.Db.txns in
+  Alcotest.(check int) "btree recovered past truncation" 150
+    (List.length (Gist.search a' txn (B.range 1 1000)));
+  Alcotest.(check int) "rtree recovered past truncation" 100
+    (List.length
+       (Gist.search b' txn (Gist_ams.Rtree_ext.rect 0.0 0.0 1000.0 1000.0)));
+  Txn.commit db'.Db.txns txn;
+  check a';
+  check b'
+
+let suite =
+  [
+    Alcotest.test_case "oversized key rejected" `Quick test_oversized_key_rejected;
+    Alcotest.test_case "deep tree operations" `Quick test_deep_tree_operations;
+    Alcotest.test_case "empty/degenerate queries" `Quick test_empty_and_degenerate_queries;
+    Alcotest.test_case "crash during vacuum NTA" `Quick test_crash_during_vacuum_nta;
+    Alcotest.test_case "minimum-size pool" `Quick test_pool_smaller_than_everything;
+    Alcotest.test_case "duplicate keys across splits" `Quick
+      test_many_duplicate_keys_across_splits;
+    Alcotest.test_case "log record fuzz roundtrip" `Quick test_log_record_fuzz_roundtrip;
+    Alcotest.test_case "garbage decode raises Corrupt" `Quick test_decode_garbage_is_corrupt;
+    Alcotest.test_case "RC scan under splits" `Quick test_rc_scan_under_splits;
+    Alcotest.test_case "multi-tree truncation" `Quick test_multitree_truncation;
+  ]

@@ -1,0 +1,323 @@
+(* Repeatable read / phantom-prevention tests (§4, experiment E5).
+
+   Each scenario runs the blocked party in its own domain and asserts on
+   observable ordering: a conflicting operation must not complete while the
+   transaction it conflicts with is still active, and must complete once
+   that transaction ends. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 128; page_size = 1024 }
+
+let make () =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  (db, t)
+
+let keys results = results |> List.map (fun (k, _) -> B.key_value k) |> List.sort compare
+
+(* Wait (bounded) until [p ()]; true if it became true. *)
+let eventually ?(timeout_s = 5.0) p =
+  let t0 = Gist_util.Clock.now_ns () in
+  let rec loop () =
+    if p () then true
+    else if Gist_util.Clock.elapsed_s t0 > timeout_s then false
+    else begin
+      Thread.yield ();
+      loop ()
+    end
+  in
+  loop ()
+
+(* Spawn [work] in a domain; returns a flag that flips when it finishes and
+   the join handle. *)
+let spawn_tracked work =
+  let done_flag = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        work ();
+        Atomic.set done_flag true)
+  in
+  (done_flag, d)
+
+let assert_still_blocked ~ms flag label =
+  (* Give the domain a real chance to finish if it wrongly could. *)
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < Float.of_int ms /. 1000.0 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) label false (Atomic.get flag)
+
+let test_phantom_insert_blocked () =
+  (* T1 scans [100, 200] (empty). T2's insert of 150 must block until T1
+     ends; T1's re-scan must still be empty. *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  List.iter (fun i -> Gist.insert t setup ~key:(B.key i) ~rid:(rid i)) [ 1; 50; 300; 400 ];
+  Txn.commit db.Db.txns setup;
+  let t1 = Txn.begin_txn db.Db.txns in
+  Alcotest.(check (list int)) "first scan empty" [] (keys (Gist.search t t1 (B.range 100 200)));
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        Gist.insert t t2 ~key:(B.key 150) ~rid:(rid 150);
+        Txn.commit db.Db.txns t2)
+  in
+  assert_still_blocked ~ms:100 flag "phantom insert blocked while scanner active";
+  Alcotest.(check (list int)) "repeatable: rescan still empty" []
+    (keys (Gist.search t t1 (B.range 100 200)));
+  Txn.commit db.Db.txns t1;
+  Alcotest.(check bool) "insert completes after scanner commits" true
+    (eventually (fun () -> Atomic.get flag));
+  Domain.join d;
+  let t3 = Txn.begin_txn db.Db.txns in
+  Alcotest.(check (list int)) "insert landed" [ 150 ] (keys (Gist.search t t3 (B.range 100 200)));
+  Txn.commit db.Db.txns t3
+
+let test_no_phantom_without_conflict () =
+  (* An insert outside the scanned range must NOT block. *)
+  let db, t = make () in
+  let t1 = Txn.begin_txn db.Db.txns in
+  ignore (Gist.search t t1 (B.range 100 200));
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        Gist.insert t t2 ~key:(B.key 500) ~rid:(rid 500);
+        Txn.commit db.Db.txns t2)
+  in
+  Alcotest.(check bool) "disjoint insert proceeds" true (eventually (fun () -> Atomic.get flag));
+  Domain.join d;
+  Txn.commit db.Db.txns t1
+
+let test_scan_blocks_on_uncommitted_insert () =
+  (* T2 inserted 150 (uncommitted). T1's scan over the range must block on
+     the record lock until T2 ends; commit ⇒ T1 sees it. *)
+  let db, t = make () in
+  let t2 = Txn.begin_txn db.Db.txns in
+  Gist.insert t t2 ~key:(B.key 150) ~rid:(rid 150);
+  let result = ref [] in
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t1 = Txn.begin_txn db.Db.txns in
+        result := keys (Gist.search t t1 (B.range 100 200));
+        Txn.commit db.Db.txns t1)
+  in
+  assert_still_blocked ~ms:100 flag "scan blocked on uncommitted insert";
+  Txn.commit db.Db.txns t2;
+  Alcotest.(check bool) "scan completes" true (eventually (fun () -> Atomic.get flag));
+  Domain.join d;
+  Alcotest.(check (list int)) "scan saw committed insert" [ 150 ] !result
+
+let test_scan_blocks_on_uncommitted_delete () =
+  (* Logical deletion (§7): the marked entry keeps scans blocked until the
+     deleter ends. Abort ⇒ the scan sees the key (rollback phantom
+     avoided). *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  Gist.insert t setup ~key:(B.key 150) ~rid:(rid 150);
+  Txn.commit db.Db.txns setup;
+  let deleter = Txn.begin_txn db.Db.txns in
+  Alcotest.(check bool) "deleted" true (Gist.delete t deleter ~key:(B.key 150) ~rid:(rid 150));
+  let result = ref [] in
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t1 = Txn.begin_txn db.Db.txns in
+        result := keys (Gist.search t t1 (B.range 100 200));
+        Txn.commit db.Db.txns t1)
+  in
+  assert_still_blocked ~ms:100 flag "scan blocked on uncommitted delete";
+  Txn.abort db.Db.txns deleter;
+  Alcotest.(check bool) "scan completes after abort" true
+    (eventually (fun () -> Atomic.get flag));
+  Domain.join d;
+  Alcotest.(check (list int)) "rolled-back delete still visible" [ 150 ] !result
+
+let test_delete_blocks_on_returned_record () =
+  (* T1 returned record 150; T2's delete must wait for T1 (no lost
+     repeatability of T1's reads). *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  Gist.insert t setup ~key:(B.key 150) ~rid:(rid 150);
+  Txn.commit db.Db.txns setup;
+  let t1 = Txn.begin_txn db.Db.txns in
+  Alcotest.(check (list int)) "T1 read the record" [ 150 ]
+    (keys (Gist.search t t1 (B.range 100 200)));
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        ignore (Gist.delete t t2 ~key:(B.key 150) ~rid:(rid 150));
+        Txn.commit db.Db.txns t2)
+  in
+  assert_still_blocked ~ms:100 flag "delete blocked by reader's S lock";
+  Alcotest.(check (list int)) "repeatable read" [ 150 ]
+    (keys (Gist.search t t1 (B.range 100 200)));
+  Txn.commit db.Db.txns t1;
+  Alcotest.(check bool) "delete completes" true (eventually (fun () -> Atomic.get flag));
+  Domain.join d
+
+let test_predicates_released_at_end () =
+  (* Predicate attachments must disappear at end of transaction so later
+     inserts are not blocked by ghosts. *)
+  let db, t = make () in
+  let t1 = Txn.begin_txn db.Db.txns in
+  ignore (Gist.search t t1 (B.range 0 1000));
+  Alcotest.(check bool) "predicates attached" true
+    (Gist_pred.Predicate_manager.total_predicates (Gist.predicate_manager t) > 0);
+  Txn.commit db.Db.txns t1;
+  Alcotest.(check int) "predicates gone after commit" 0
+    (Gist_pred.Predicate_manager.total_predicates (Gist.predicate_manager t));
+  (* And an insert into the previously scanned range proceeds immediately. *)
+  let t2 = Txn.begin_txn db.Db.txns in
+  Gist.insert t t2 ~key:(B.key 500) ~rid:(rid 500);
+  Txn.commit db.Db.txns t2
+
+let test_percolation_blocks_pruned_scan_phantom () =
+  (* The subtle §4.3 case: T1 scans a range that today maps to a pruned
+     subtree (no leaf visit); T2 inserts a key in that range, which expands
+     BPs along the path. The percolated predicate must make T2 block. *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  (* Two distinct clusters so the tree prunes between them. *)
+  for i = 1 to 40 do
+    Gist.insert t setup ~key:(B.key i) ~rid:(rid i)
+  done;
+  for i = 200 to 240 do
+    Gist.insert t setup ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns setup;
+  let t1 = Txn.begin_txn db.Db.txns in
+  (* Scan the gap: consistent with the root but with no leaf cluster. *)
+  Alcotest.(check (list int)) "gap scan empty" [] (keys (Gist.search t t1 (B.range 100 150)));
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        Gist.insert t t2 ~key:(B.key 120) ~rid:(rid 120);
+        Txn.commit db.Db.txns t2)
+  in
+  assert_still_blocked ~ms:150 flag "gap insert blocked via percolated predicate";
+  Alcotest.(check (list int)) "gap rescan still empty" []
+    (keys (Gist.search t t1 (B.range 100 150)));
+  Txn.commit db.Db.txns t1;
+  Alcotest.(check bool) "gap insert completes" true (eventually (fun () -> Atomic.get flag));
+  Domain.join d
+
+let test_scan_insert_deadlock_resolved () =
+  (* T1 scans, T2 inserts into the range and blocks on T1's predicate; if
+     T1 then re-scans it hits T2's record lock — a genuine cycle the lock
+     manager must break by victimizing one side. *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  List.iter (fun i -> Gist.insert t setup ~key:(B.key i) ~rid:(rid i)) [ 10; 20; 30 ];
+  Txn.commit db.Db.txns setup;
+  let t1 = Txn.begin_txn db.Db.txns in
+  ignore (Gist.search t t1 (B.range 0 100));
+  let t2_outcome = ref `Pending in
+  let _, d =
+    spawn_tracked (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        match Gist.insert t t2 ~key:(B.key 15) ~rid:(rid 15) with
+        | () ->
+          Txn.commit db.Db.txns t2;
+          t2_outcome := `Committed
+        | exception Gist_txn.Lock_manager.Deadlock _ ->
+          Txn.abort db.Db.txns t2;
+          t2_outcome := `Aborted)
+  in
+  (* Give T2 time to insert the entry and block on T1's predicate. *)
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.1 do
+    Thread.yield ()
+  done;
+  let t1_outcome =
+    match keys (Gist.search t t1 (B.range 0 100)) with
+    | ks -> `Completed ks
+    | exception Gist_txn.Lock_manager.Deadlock _ -> `Deadlocked
+  in
+  (match t1_outcome with
+  | `Deadlocked -> Txn.abort db.Db.txns t1
+  | `Completed _ -> Txn.commit db.Db.txns t1);
+  Domain.join d;
+  (* Nothing may hang, and the outcome must be one of the two sound
+     resolutions: the FIFO rule lets T1's rescan skip T2's queued insert
+     (repeatable read preserved, T2 commits after T1), or the lock manager
+     victimizes one side of the cycle. *)
+  let resolved =
+    match (t1_outcome, !t2_outcome) with
+    | `Completed ks, `Committed ->
+      (* FIFO skip: T1's rescan must equal its first scan. *)
+      ks = [ 10; 20; 30 ]
+    | `Deadlocked, `Committed | `Completed _, `Aborted | `Deadlocked, `Aborted -> true
+    | _, `Pending -> false
+  in
+  Alcotest.(check bool) "cycle resolved soundly" true resolved
+
+let test_read_committed_no_phantom_protection () =
+  (* Degree 2: a scan takes no predicates; a concurrent insert into the
+     scanned range proceeds immediately and the rescan observes it. *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  List.iter (fun i -> Gist.insert t setup ~key:(B.key i) ~rid:(rid i)) [ 10; 20 ];
+  Txn.commit db.Db.txns setup;
+  let t1 = Txn.begin_txn db.Db.txns in
+  let first = keys (Gist.search ~isolation:`Read_committed t t1 (B.range 0 100)) in
+  Alcotest.(check int) "no predicates attached" 0
+    (Gist_pred.Predicate_manager.total_predicates (Gist.predicate_manager t));
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        Gist.insert t t2 ~key:(B.key 15) ~rid:(rid 15);
+        Txn.commit db.Db.txns t2)
+  in
+  Alcotest.(check bool) "insert proceeds against RC scan" true
+    (eventually (fun () -> Atomic.get flag));
+  Domain.join d;
+  let second = keys (Gist.search ~isolation:`Read_committed t t1 (B.range 0 100)) in
+  Alcotest.(check (list int)) "first scan" [ 10; 20 ] first;
+  Alcotest.(check (list int)) "phantom visible at degree 2" [ 10; 15; 20 ] second;
+  Txn.commit db.Db.txns t1
+
+let test_read_committed_never_reads_uncommitted () =
+  (* Degree 2 still blocks on in-flight writers rather than reading dirty
+     data. *)
+  let db, t = make () in
+  let writer = Txn.begin_txn db.Db.txns in
+  Gist.insert t writer ~key:(B.key 5) ~rid:(rid 5);
+  let result = ref [] in
+  let flag, d =
+    spawn_tracked (fun () ->
+        let t1 = Txn.begin_txn db.Db.txns in
+        result := keys (Gist.search ~isolation:`Read_committed t t1 (B.range 0 100));
+        Txn.commit db.Db.txns t1)
+  in
+  assert_still_blocked ~ms:100 flag "RC scan blocked on uncommitted insert";
+  Txn.commit db.Db.txns writer;
+  Alcotest.(check bool) "completes after commit" true (eventually (fun () -> Atomic.get flag));
+  Domain.join d;
+  Alcotest.(check (list int)) "sees only committed data" [ 5 ] !result
+
+let suite =
+  [
+    Alcotest.test_case "phantom insert blocked" `Quick test_phantom_insert_blocked;
+    Alcotest.test_case "disjoint insert not blocked" `Quick test_no_phantom_without_conflict;
+    Alcotest.test_case "scan blocks on uncommitted insert" `Quick
+      test_scan_blocks_on_uncommitted_insert;
+    Alcotest.test_case "scan blocks on uncommitted delete" `Quick
+      test_scan_blocks_on_uncommitted_delete;
+    Alcotest.test_case "delete blocks on returned record" `Quick
+      test_delete_blocks_on_returned_record;
+    Alcotest.test_case "predicates released at end" `Quick test_predicates_released_at_end;
+    Alcotest.test_case "percolation blocks pruned-scan phantom" `Quick
+      test_percolation_blocks_pruned_scan_phantom;
+    Alcotest.test_case "scan/insert deadlock resolved" `Quick
+      test_scan_insert_deadlock_resolved;
+    Alcotest.test_case "read committed: phantoms possible" `Quick
+      test_read_committed_no_phantom_protection;
+    Alcotest.test_case "read committed: no dirty reads" `Quick
+      test_read_committed_never_reads_uncommitted;
+  ]

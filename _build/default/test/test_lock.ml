@@ -1,0 +1,266 @@
+(* Unit tests for the lock manager: compatibility, queuing, upgrades,
+   deadlock detection, and the signaling-lock copy extension. *)
+
+open Gist_txn
+module Rid = Gist_storage.Rid
+module Page_id = Gist_storage.Page_id
+module Txn_id = Gist_util.Txn_id
+
+let tid = Txn_id.of_int
+
+let rec_name i = Lock_manager.Record (Rid.make ~page:1 ~slot:i)
+
+let node_name i = Lock_manager.Node (Page_id.of_int i)
+
+let test_compatibility () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 1) Lock_manager.S;
+  Alcotest.(check bool) "S/S compatible" true
+    (Lock_manager.try_lock lm (tid 2) (rec_name 1) Lock_manager.S);
+  Alcotest.(check bool) "S/X conflict" false
+    (Lock_manager.try_lock lm (tid 3) (rec_name 1) Lock_manager.X);
+  Lock_manager.release_all lm (tid 1);
+  Lock_manager.release_all lm (tid 2);
+  Alcotest.(check bool) "X after releases" true
+    (Lock_manager.try_lock lm (tid 3) (rec_name 1) Lock_manager.X);
+  Alcotest.(check bool) "X/S conflict" false
+    (Lock_manager.try_lock lm (tid 4) (rec_name 1) Lock_manager.S)
+
+let test_reentrancy_counting () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (node_name 5) Lock_manager.S;
+  Lock_manager.lock lm (tid 1) (node_name 5) Lock_manager.S;
+  Lock_manager.unlock lm (tid 1) (node_name 5);
+  (* Still held once. *)
+  Alcotest.(check bool) "still held" true (Lock_manager.held lm (tid 1) (node_name 5));
+  Alcotest.(check bool) "X still blocked" false
+    (Lock_manager.try_lock lm (tid 2) (node_name 5) Lock_manager.X);
+  Lock_manager.unlock lm (tid 1) (node_name 5);
+  Alcotest.(check bool) "released" false (Lock_manager.held lm (tid 1) (node_name 5));
+  Alcotest.(check bool) "X now granted" true
+    (Lock_manager.try_lock lm (tid 2) (node_name 5) Lock_manager.X)
+
+let test_blocking_grant () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 2) Lock_manager.X;
+  let granted = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Lock_manager.lock lm (tid 2) (rec_name 2) Lock_manager.S;
+        Atomic.set granted true)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.05 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "waiter blocked" false (Atomic.get granted);
+  Lock_manager.unlock lm (tid 1) (rec_name 2);
+  Domain.join d;
+  Alcotest.(check bool) "granted after release" true (Atomic.get granted)
+
+let test_upgrade () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 3) Lock_manager.S;
+  (* Sole S holder upgrades instantly. *)
+  Lock_manager.lock lm (tid 1) (rec_name 3) Lock_manager.X;
+  Alcotest.(check bool) "exclusive now" false
+    (Lock_manager.try_lock lm (tid 2) (rec_name 3) Lock_manager.S);
+  (* Count is 2: S + upgrade. *)
+  Lock_manager.unlock lm (tid 1) (rec_name 3);
+  Lock_manager.unlock lm (tid 1) (rec_name 3);
+  Alcotest.(check bool) "fully released" true
+    (Lock_manager.try_lock lm (tid 2) (rec_name 3) Lock_manager.S)
+
+let test_upgrade_waits_for_other_readers () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 4) Lock_manager.S;
+  Lock_manager.lock lm (tid 2) (rec_name 4) Lock_manager.S;
+  let upgraded = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Lock_manager.lock lm (tid 1) (rec_name 4) Lock_manager.X;
+        Atomic.set upgraded true)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.05 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "upgrade waits" false (Atomic.get upgraded);
+  Lock_manager.unlock lm (tid 2) (rec_name 4);
+  Domain.join d;
+  Alcotest.(check bool) "upgrade granted" true (Atomic.get upgraded)
+
+let test_deadlock_two_txns () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 10) Lock_manager.X;
+  Lock_manager.lock lm (tid 2) (rec_name 11) Lock_manager.X;
+  let d =
+    Domain.spawn (fun () ->
+        (* T2 waits for T1's lock. *)
+        Lock_manager.lock lm (tid 2) (rec_name 10) Lock_manager.S;
+        Lock_manager.release_all lm (tid 2))
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Lock_manager.blocked_count lm = 0 && Gist_util.Clock.elapsed_s t0 < 5.0 do
+    Thread.yield ()
+  done;
+  (* T1 requesting T2's lock closes the cycle: T1 must be the victim. *)
+  Alcotest.(check bool) "deadlock raised at requester" true
+    (match Lock_manager.lock lm (tid 1) (rec_name 11) Lock_manager.S with
+    | () -> false
+    | exception Lock_manager.Deadlock v -> Txn_id.equal v (tid 1));
+  Lock_manager.release_all lm (tid 1);
+  Domain.join d;
+  Alcotest.(check int) "one deadlock counted" 1 (Lock_manager.deadlock_count lm)
+
+let test_deadlock_three_txns () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 20) Lock_manager.X;
+  Lock_manager.lock lm (tid 2) (rec_name 21) Lock_manager.X;
+  Lock_manager.lock lm (tid 3) (rec_name 22) Lock_manager.X;
+  let d2 =
+    Domain.spawn (fun () ->
+        try
+          Lock_manager.lock lm (tid 2) (rec_name 20) Lock_manager.S;
+          Lock_manager.release_all lm (tid 2)
+        with Lock_manager.Deadlock _ -> Lock_manager.release_all lm (tid 2))
+  in
+  let d3 =
+    Domain.spawn (fun () ->
+        try
+          Lock_manager.lock lm (tid 3) (rec_name 21) Lock_manager.S;
+          Lock_manager.release_all lm (tid 3)
+        with Lock_manager.Deadlock _ -> Lock_manager.release_all lm (tid 3))
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Lock_manager.blocked_count lm < 2 && Gist_util.Clock.elapsed_s t0 < 5.0 do
+    Thread.yield ()
+  done;
+  (* T1 → T3 closes a three-party cycle. *)
+  Alcotest.(check bool) "3-cycle detected" true
+    (match Lock_manager.lock lm (tid 1) (rec_name 22) Lock_manager.S with
+    | () -> false
+    | exception Lock_manager.Deadlock _ -> true);
+  Lock_manager.release_all lm (tid 1);
+  Domain.join d2;
+  Domain.join d3
+
+let test_copy_holders () =
+  (* §10.3: a split copies the original node's signaling locks to the new
+     sibling, including hold counts. *)
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (node_name 1) Lock_manager.S;
+  Lock_manager.lock lm (tid 1) (node_name 1) Lock_manager.S;
+  Lock_manager.lock lm (tid 2) (node_name 1) Lock_manager.S;
+  Lock_manager.copy_holders lm ~src:(node_name 1) ~dst:(node_name 2);
+  Alcotest.(check int) "both holders copied" 2
+    (List.length (Lock_manager.holders lm (node_name 2)));
+  (* Deleter's conditional X on the sibling must fail. *)
+  Alcotest.(check bool) "sibling protected" false
+    (Lock_manager.try_lock lm (tid 9) (node_name 2) Lock_manager.X);
+  (* Counts copied: two unlocks needed for t1. *)
+  Lock_manager.unlock lm (tid 1) (node_name 2);
+  Alcotest.(check bool) "t1 still holds after one unlock" true
+    (Lock_manager.held lm (tid 1) (node_name 2));
+  Lock_manager.unlock lm (tid 1) (node_name 2);
+  Lock_manager.unlock lm (tid 2) (node_name 2);
+  Alcotest.(check bool) "sibling free" true
+    (Lock_manager.try_lock lm (tid 9) (node_name 2) Lock_manager.X)
+
+let test_release_all_except () =
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (node_name 1) Lock_manager.S;
+  Lock_manager.lock lm (tid 1) (node_name 2) Lock_manager.S;
+  Lock_manager.lock lm (tid 1) (rec_name 1) Lock_manager.X;
+  Lock_manager.release_all_except lm (tid 1) ~keep:(function
+    | Lock_manager.Node _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "node locks kept" true (Lock_manager.held lm (tid 1) (node_name 1));
+  Alcotest.(check bool) "record lock dropped" false (Lock_manager.held lm (tid 1) (rec_name 1));
+  Lock_manager.release_all lm (tid 1);
+  Alcotest.(check int) "nothing left" 0 (List.length (Lock_manager.held_names lm (tid 1)))
+
+let test_fifo_fairness () =
+  (* A queued X waiter must not be overtaken by later S requests. *)
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 30) Lock_manager.S;
+  let x_granted = Atomic.make false in
+  let dx =
+    Domain.spawn (fun () ->
+        Lock_manager.lock lm (tid 2) (rec_name 30) Lock_manager.X;
+        Atomic.set x_granted true;
+        Lock_manager.release_all lm (tid 2))
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Lock_manager.blocked_count lm = 0 && Gist_util.Clock.elapsed_s t0 < 5.0 do
+    Thread.yield ()
+  done;
+  (* Late S must queue behind the X waiter, not sneak past it. *)
+  Alcotest.(check bool) "late S not granted instantly" false
+    (Lock_manager.try_lock lm (tid 3) (rec_name 30) Lock_manager.S);
+  Lock_manager.unlock lm (tid 1) (rec_name 30);
+  Domain.join dx;
+  Alcotest.(check bool) "X got its turn" true (Atomic.get x_granted)
+
+let test_stress_no_lost_grants () =
+  let lm = Lock_manager.create () in
+  let counter = ref 0 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let me = tid (100 + d) in
+            for _ = 1 to 2500 do
+              Lock_manager.lock lm me (rec_name 50) Lock_manager.X;
+              counter := !counter + 1;
+              Lock_manager.unlock lm me (rec_name 50)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "X lock mutual exclusion" 10_000 !counter
+
+let test_upgrade_deadlock () =
+  (* Two S holders both upgrading: a guaranteed cycle the detector must
+     break (classic conversion deadlock). *)
+  let lm = Lock_manager.create () in
+  Lock_manager.lock lm (tid 1) (rec_name 40) Lock_manager.S;
+  Lock_manager.lock lm (tid 2) (rec_name 40) Lock_manager.S;
+  let d =
+    Domain.spawn (fun () ->
+        match Lock_manager.lock lm (tid 2) (rec_name 40) Lock_manager.X with
+        | () -> `Upgraded
+        | exception Lock_manager.Deadlock _ ->
+          Lock_manager.release_all lm (tid 2);
+          `Victim)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Lock_manager.blocked_count lm = 0 && Gist_util.Clock.elapsed_s t0 < 5.0 do
+    Thread.yield ()
+  done;
+  let mine =
+    match Lock_manager.lock lm (tid 1) (rec_name 40) Lock_manager.X with
+    | () -> `Upgraded
+    | exception Lock_manager.Deadlock _ ->
+      Lock_manager.release_all lm (tid 1);
+      `Victim
+  in
+  let theirs = Domain.join d in
+  Alcotest.(check bool) "exactly one upgrade wins" true
+    ((mine = `Upgraded && theirs = `Victim) || (mine = `Victim && theirs = `Upgraded));
+  Lock_manager.release_all lm (tid 1);
+  Lock_manager.release_all lm (tid 2)
+
+let suite =
+  [
+    Alcotest.test_case "compatibility matrix" `Quick test_compatibility;
+    Alcotest.test_case "reentrancy counting" `Quick test_reentrancy_counting;
+    Alcotest.test_case "blocking grant" `Quick test_blocking_grant;
+    Alcotest.test_case "upgrade S->X" `Quick test_upgrade;
+    Alcotest.test_case "upgrade waits for readers" `Quick test_upgrade_waits_for_other_readers;
+    Alcotest.test_case "deadlock: 2 txns" `Quick test_deadlock_two_txns;
+    Alcotest.test_case "deadlock: 3 txns" `Quick test_deadlock_three_txns;
+    Alcotest.test_case "copy holders (signaling locks)" `Quick test_copy_holders;
+    Alcotest.test_case "release all except" `Quick test_release_all_except;
+    Alcotest.test_case "FIFO fairness" `Quick test_fifo_fairness;
+    Alcotest.test_case "stress: no lost grants" `Quick test_stress_no_lost_grants;
+    Alcotest.test_case "upgrade deadlock (conversion)" `Quick test_upgrade_deadlock;
+  ]

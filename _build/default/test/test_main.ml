@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "gist-repro"
+    [
+      ("util", Test_util.suite);
+      ("storage", Test_storage.suite);
+      ("wal", Test_wal.suite);
+      ("lock", Test_lock.suite);
+      ("txn", Test_txn.suite);
+      ("pred", Test_pred.suite);
+      ("node", Test_node.suite);
+      ("gist", Test_gist.suite);
+      ("ams", Test_ams.suite);
+      ("isolation", Test_isolation.suite);
+      ("recovery", Test_recovery.suite);
+      ("concurrency", Test_concurrency.suite);
+      ("unique", Test_unique.suite);
+      ("vacuum", Test_vacuum.suite);
+      ("cursor", Test_cursor.suite);
+      ("baseline", Test_baseline.suite);
+      ("claims", Test_claims.suite);
+      ("harness", Test_harness.suite);
+      ("bulk", Test_bulk.suite);
+      ("multitree", Test_multitree.suite);
+      ("edge", Test_edge.suite);
+      ("props", Test_props.suite);
+    ]

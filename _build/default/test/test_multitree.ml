@@ -1,0 +1,148 @@
+(* Multiple GiSTs — of different access methods — in one database
+   environment: shared WAL, buffer pool, lock and transaction managers;
+   cross-tree transactions; and multi-extension restart recovery. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module R = Gist_ams.Rtree_ext
+module RD = Gist_ams.Rd_tree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+
+let rid ~ns i = Rid.make ~page:ns ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 256; page_size = 2048 }
+
+let check t = Alcotest.(check bool) "tree consistent" true (Tree_check.ok (Tree_check.check t))
+
+let test_two_trees_one_txn () =
+  let db = Db.create ~config () in
+  let names = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let places = Gist.create db R.ext ~empty_bp:R.Empty () in
+  (* One transaction updates both indexes atomically. *)
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 100 do
+    Gist.insert names txn ~key:(B.key i) ~rid:(rid ~ns:1 i);
+    Gist.insert places txn
+      ~key:(R.point (Float.of_int i) (Float.of_int (i * 2)))
+      ~rid:(rid ~ns:2 i)
+  done;
+  Txn.commit db.Db.txns txn;
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "btree rows" 100 (List.length (Gist.search names txn (B.range 1 100)));
+  Alcotest.(check int) "rtree rows" 100
+    (List.length (Gist.search places txn (R.rect 0.0 0.0 200.0 400.0)));
+  Txn.commit db.Db.txns txn;
+  check names;
+  check places
+
+let test_cross_tree_abort () =
+  (* An abort must undo updates in BOTH trees, dispatching each record's
+     undo through the right extension. *)
+  let db = Db.create ~config () in
+  let names = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let places = Gist.create db R.ext ~empty_bp:R.Empty () in
+  let setup = Txn.begin_txn db.Db.txns in
+  for i = 1 to 30 do
+    Gist.insert names setup ~key:(B.key i) ~rid:(rid ~ns:1 i);
+    Gist.insert places setup ~key:(R.point (Float.of_int i) 0.0) ~rid:(rid ~ns:2 i)
+  done;
+  Txn.commit db.Db.txns setup;
+  let loser = Txn.begin_txn db.Db.txns in
+  for i = 31 to 90 do
+    Gist.insert names loser ~key:(B.key i) ~rid:(rid ~ns:1 i);
+    Gist.insert places loser ~key:(R.point (Float.of_int i) 5.0) ~rid:(rid ~ns:2 i)
+  done;
+  ignore (Gist.delete names loser ~key:(B.key 3) ~rid:(rid ~ns:1 3));
+  Txn.abort db.Db.txns loser;
+  let txn = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "btree rolled back" 30
+    (List.length (Gist.search names txn (B.range 1 1000)));
+  Alcotest.(check int) "rtree rolled back" 30
+    (List.length (Gist.search places txn (R.rect (-1.0) (-1.0) 1000.0 1000.0)));
+  Txn.commit db.Db.txns txn;
+  check names;
+  check places
+
+let test_multitree_crash_recovery () =
+  let db = Db.create ~config () in
+  let names = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let places = Gist.create db R.ext ~empty_bp:R.Empty () in
+  let docs = Gist.create db RD.ext ~empty_bp:RD.Empty () in
+  let committed = Txn.begin_txn db.Db.txns in
+  for i = 1 to 60 do
+    Gist.insert names committed ~key:(B.key i) ~rid:(rid ~ns:1 i);
+    Gist.insert places committed
+      ~key:(R.point (Float.of_int i) (Float.of_int i))
+      ~rid:(rid ~ns:2 i);
+    Gist.insert docs committed ~key:(RD.set [ i; i + 100; i mod 7 ]) ~rid:(rid ~ns:3 i)
+  done;
+  Txn.commit db.Db.txns committed;
+  (* Losers across all three trees, then crash. *)
+  let loser = Txn.begin_txn db.Db.txns in
+  for i = 61 to 120 do
+    Gist.insert names loser ~key:(B.key i) ~rid:(rid ~ns:1 i);
+    Gist.insert places loser ~key:(R.point 0.5 (Float.of_int i)) ~rid:(rid ~ns:2 i);
+    Gist.insert docs loser ~key:(RD.set [ i ]) ~rid:(rid ~ns:3 i)
+  done;
+  Gist_wal.Log_manager.force_all db.Db.log;
+  let roots = (Gist.root names, Gist.root places, Gist.root docs) in
+  let db' = Db.crash db in
+  Recovery.restart_multi db' [ Ext.Packed B.ext; Ext.Packed R.ext; Ext.Packed RD.ext ];
+  let r1, r2, r3 = roots in
+  let names' = Gist.open_existing db' B.ext ~root:r1 () in
+  let places' = Gist.open_existing db' R.ext ~root:r2 () in
+  let docs' = Gist.open_existing db' RD.ext ~root:r3 () in
+  let txn = Txn.begin_txn db'.Db.txns in
+  Alcotest.(check int) "btree recovered exactly committed" 60
+    (List.length (Gist.search names' txn (B.range 1 1000)));
+  Alcotest.(check int) "rtree recovered exactly committed" 60
+    (List.length (Gist.search places' txn (R.rect (-1.0) (-1.0) 1000.0 1000.0)));
+  (* The RD overlap query [0..6] matches every doc whose i mod 7 is set. *)
+  Alcotest.(check int) "rd-tree recovered exactly committed" 60
+    (List.length (Gist.search docs' txn (RD.set [ 0; 1; 2; 3; 4; 5; 6 ])));
+  Txn.commit db'.Db.txns txn;
+  check names';
+  check places';
+  check docs'
+
+let test_concurrent_trees () =
+  (* Domains hammer different trees in the same environment: shared
+     substrate, disjoint data. *)
+  let db = Db.create ~config () in
+  let names = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let places = Gist.create db R.ext ~empty_bp:R.Empty () in
+  let worker_b =
+    Domain.spawn (fun () ->
+        for i = 1 to 400 do
+          let txn = Txn.begin_txn db.Db.txns in
+          Gist.insert names txn ~key:(B.key i) ~rid:(rid ~ns:1 i);
+          Txn.commit db.Db.txns txn
+        done)
+  in
+  let worker_r =
+    Domain.spawn (fun () ->
+        let rng = Gist_util.Xoshiro.create 44 in
+        for i = 1 to 400 do
+          let txn = Txn.begin_txn db.Db.txns in
+          Gist.insert places txn
+            ~key:(R.point (Gist_util.Xoshiro.float rng 100.0) (Gist_util.Xoshiro.float rng 100.0))
+            ~rid:(rid ~ns:2 i);
+          Txn.commit db.Db.txns txn
+        done)
+  in
+  Domain.join worker_b;
+  Domain.join worker_r;
+  Alcotest.(check int) "btree complete" 400 (Gist.entry_count names);
+  Alcotest.(check int) "rtree complete" 400 (Gist.entry_count places);
+  check names;
+  check places
+
+let suite =
+  [
+    Alcotest.test_case "two trees, one transaction" `Quick test_two_trees_one_txn;
+    Alcotest.test_case "cross-tree abort" `Quick test_cross_tree_abort;
+    Alcotest.test_case "multi-tree crash recovery" `Quick test_multitree_crash_recovery;
+    Alcotest.test_case "concurrent trees" `Quick test_concurrent_trees;
+  ]

@@ -1,0 +1,143 @@
+(* Unit tests for node layout: page codec, entry manipulation, capacity. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Page_id = Gist_storage.Page_id
+module Txn_id = Gist_util.Txn_id
+module Buffer_pool = Gist_storage.Buffer_pool
+module Disk = Gist_storage.Disk
+
+let ext = B.ext
+
+let le k ?(deleter = Txn_id.none) rid_slot =
+  { Node.le_key = B.key k; le_rid = Rid.make ~page:9 ~slot:rid_slot; le_deleter = deleter }
+
+let with_frame f =
+  let disk = Disk.create ~page_size:1024 () in
+  let pool = Buffer_pool.create ~capacity:4 ~disk ~force_log:(fun _ -> ()) in
+  let frame = Buffer_pool.pin_new pool (Page_id.of_int 1) in
+  let r = f frame in
+  Buffer_pool.unpin pool frame;
+  r
+
+let test_leaf_roundtrip () =
+  with_frame (fun frame ->
+      let n = Node.make_leaf ~id:(Page_id.of_int 1) ~bp:(B.range 1 100) in
+      Node.add_leaf_entry n (le 5 1);
+      Node.add_leaf_entry n (le 10 ~deleter:(Txn_id.of_int 3) 2);
+      n.Node.nsn <- 77L;
+      n.Node.rightlink <- Page_id.of_int 12;
+      Node.write ext n frame;
+      let n' = Node.read ext frame in
+      Alcotest.(check bool) "leaf" true (Node.is_leaf n');
+      Alcotest.(check int) "entries" 2 (Node.entry_count n');
+      Alcotest.(check int) "live entries" 1 (Node.live_leaf_count n');
+      Alcotest.(check int64) "nsn" 77L n'.Node.nsn;
+      Alcotest.(check int) "rightlink" 12 (Page_id.to_int n'.Node.rightlink);
+      Alcotest.(check bool) "bp" true (B.ext.Gist_core.Ext.matches_exact n'.Node.bp (B.range 1 100));
+      match Node.find_leaf_by_rid n' (Rid.make ~page:9 ~slot:2) with
+      | Some e ->
+        Alcotest.(check bool) "deleter preserved" true
+          (Txn_id.equal e.Node.le_deleter (Txn_id.of_int 3))
+      | None -> Alcotest.fail "entry lost")
+
+let test_internal_roundtrip () =
+  with_frame (fun frame ->
+      let n = Node.make_internal ~id:(Page_id.of_int 1) ~level:2 ~bp:(B.range 1 1000) in
+      Node.add_internal_entry n { Node.ie_bp = B.range 1 500; ie_child = Page_id.of_int 3 };
+      Node.add_internal_entry n { Node.ie_bp = B.range 501 1000; ie_child = Page_id.of_int 4 };
+      Node.write ext n frame;
+      let n' = Node.read ext frame in
+      Alcotest.(check bool) "internal" false (Node.is_leaf n');
+      Alcotest.(check int) "level" 2 n'.Node.level;
+      Alcotest.(check int) "entries" 2 (Node.entry_count n');
+      match Node.find_child n' (Page_id.of_int 4) with
+      | Some e ->
+        Alcotest.(check bool) "child bp" true
+          (B.ext.Gist_core.Ext.matches_exact e.Node.ie_bp (B.range 501 1000))
+      | None -> Alcotest.fail "child entry lost")
+
+let test_unformatted_detection () =
+  with_frame (fun frame ->
+      Alcotest.(check bool) "zero page unformatted" false (Node.is_formatted frame);
+      Alcotest.(check bool) "read raises" true
+        (match Node.read ext frame with
+        | _ -> false
+        | exception Gist_util.Codec.Corrupt _ -> true);
+      let n = Node.make_leaf ~id:(Page_id.of_int 1) ~bp:B.Empty in
+      Node.write ext n frame;
+      Alcotest.(check bool) "formatted after write" true (Node.is_formatted frame))
+
+let test_live_vs_marked_lookup () =
+  let n = Node.make_leaf ~id:(Page_id.of_int 1) ~bp:(B.range 0 10) in
+  (* RID reuse: marked twin + live reincarnation. *)
+  Node.add_leaf_entry n (le 5 ~deleter:(Txn_id.of_int 7) 1);
+  Node.add_leaf_entry n (le 5 1);
+  Alcotest.(check bool) "find_live skips marked" true
+    (match Node.find_live_by_rid n (Rid.make ~page:9 ~slot:1) with
+    | Some e -> not (Txn_id.is_some e.Node.le_deleter)
+    | None -> false);
+  Alcotest.(check bool) "find_marked_by txn" true
+    (Node.find_marked_by n (Rid.make ~page:9 ~slot:1) (Txn_id.of_int 7) <> None);
+  Alcotest.(check bool) "remove_marked keeps live" true
+    (Node.remove_marked_by_rid n (Rid.make ~page:9 ~slot:1));
+  Alcotest.(check int) "one left" 1 (Node.entry_count n);
+  Alcotest.(check int) "the live one" 1 (Node.live_leaf_count n);
+  Alcotest.(check bool) "remove_live" true (Node.remove_live_by_rid n (Rid.make ~page:9 ~slot:1));
+  Alcotest.(check int) "empty" 0 (Node.entry_count n)
+
+let test_capacity () =
+  let n = Node.make_leaf ~id:(Page_id.of_int 1) ~bp:B.Empty in
+  Alcotest.(check bool) "empty fits" true
+    (Node.fits ext n ~page_size:1024 ~extra:0 ~max_entries:100);
+  for i = 1 to 100 do
+    Node.add_leaf_entry n (le i i)
+  done;
+  Alcotest.(check bool) "fanout cap respected" false
+    (Node.fits ext n ~page_size:65536 ~extra:0 ~max_entries:100);
+  Alcotest.(check bool) "byte budget respected" false
+    (Node.fits ext n ~page_size:1024 ~extra:0 ~max_entries:10_000);
+  Alcotest.(check bool) "body size positive" true (Node.body_size ext n > 100)
+
+let test_entry_images () =
+  let e = le 42 7 in
+  let s = Node.encode_leaf_entry ext e in
+  (match Node.decode_entry ext s with
+  | `Leaf e' ->
+    Alcotest.(check bool) "leaf image roundtrip" true
+      (ext.Gist_core.Ext.matches_exact e'.Node.le_key (B.key 42)
+      && Rid.equal e'.Node.le_rid e.Node.le_rid)
+  | `Internal _ -> Alcotest.fail "wrong kind");
+  let ie = { Node.ie_bp = B.range 1 5; ie_child = Page_id.of_int 8 } in
+  match Node.decode_entry ext (Node.encode_internal_entry ext ie) with
+  | `Internal ie' ->
+    Alcotest.(check bool) "internal image roundtrip" true
+      (ext.Gist_core.Ext.matches_exact ie'.Node.ie_bp (B.range 1 5)
+      && Page_id.equal ie'.Node.ie_child (Page_id.of_int 8))
+  | `Leaf _ -> Alcotest.fail "wrong kind"
+
+let test_recompute_bp () =
+  let n = Node.make_leaf ~id:(Page_id.of_int 1) ~bp:(B.range 0 1000) in
+  Node.add_leaf_entry n (le 5 1);
+  Node.add_leaf_entry n (le 50 2);
+  Node.recompute_bp ext n;
+  Alcotest.(check bool) "tightened" true
+    (ext.Gist_core.Ext.matches_exact n.Node.bp (B.range 5 50));
+  (* Empty node keeps its current BP. *)
+  ignore (Node.remove_leaf_by_rid n (Rid.make ~page:9 ~slot:1));
+  ignore (Node.remove_leaf_by_rid n (Rid.make ~page:9 ~slot:2));
+  Node.recompute_bp ext n;
+  Alcotest.(check bool) "empty keeps bp" true
+    (ext.Gist_core.Ext.matches_exact n.Node.bp (B.range 5 50))
+
+let suite =
+  [
+    Alcotest.test_case "leaf page roundtrip" `Quick test_leaf_roundtrip;
+    Alcotest.test_case "internal page roundtrip" `Quick test_internal_roundtrip;
+    Alcotest.test_case "unformatted detection" `Quick test_unformatted_detection;
+    Alcotest.test_case "live vs marked lookups" `Quick test_live_vs_marked_lookup;
+    Alcotest.test_case "capacity accounting" `Quick test_capacity;
+    Alcotest.test_case "entry images" `Quick test_entry_images;
+    Alcotest.test_case "recompute bp" `Quick test_recompute_bp;
+  ]

@@ -1,0 +1,100 @@
+(* Unit tests for the predicate manager (§10.3 data structures). *)
+
+open Gist_pred
+module Pm = Predicate_manager
+module Page_id = Gist_storage.Page_id
+module Txn_id = Gist_util.Txn_id
+
+let tid = Txn_id.of_int
+
+let pid = Page_id.of_int
+
+let test_register_attach () =
+  let pm = Pm.create () in
+  let p = Pm.register pm ~owner:(tid 1) ~kind:Pm.Scan (10, 20) in
+  Alcotest.(check bool) "owner" true (Txn_id.equal (tid 1) (Pm.owner p));
+  Alcotest.(check bool) "formula" true (Pm.formula p = (10, 20));
+  Pm.attach pm p (pid 5);
+  Alcotest.(check bool) "attached" true (Pm.is_attached pm p (pid 5));
+  Alcotest.(check int) "listed" 1 (List.length (Pm.attached pm (pid 5)));
+  (* Idempotent. *)
+  Pm.attach pm p (pid 5);
+  Alcotest.(check int) "idempotent attach" 1 (List.length (Pm.attached pm (pid 5)));
+  Alcotest.(check int) "attachment count" 1 (Pm.total_attachments pm)
+
+let test_fifo_order () =
+  let pm = Pm.create () in
+  let p1 = Pm.register pm ~owner:(tid 1) ~kind:Pm.Scan 1 in
+  let p2 = Pm.register pm ~owner:(tid 2) ~kind:Pm.Insert 2 in
+  let p3 = Pm.register pm ~owner:(tid 3) ~kind:Pm.Probe 3 in
+  Pm.attach pm p2 (pid 1);
+  Pm.attach pm p1 (pid 1);
+  Pm.attach pm p3 (pid 1);
+  Alcotest.(check (list int)) "FIFO attachment order" [ 2; 1; 3 ]
+    (List.map Pm.formula (Pm.attached pm (pid 1)))
+
+let test_remove_txn () =
+  let pm = Pm.create () in
+  let p1 = Pm.register pm ~owner:(tid 1) ~kind:Pm.Scan 1 in
+  let p2 = Pm.register pm ~owner:(tid 2) ~kind:Pm.Scan 2 in
+  Pm.attach pm p1 (pid 1);
+  Pm.attach pm p1 (pid 2);
+  Pm.attach pm p2 (pid 1);
+  Pm.remove_txn pm (tid 1);
+  Alcotest.(check (list int)) "only t2 remains" [ 2 ]
+    (List.map Pm.formula (Pm.attached pm (pid 1)));
+  Alcotest.(check int) "page 2 empty" 0 (List.length (Pm.attached pm (pid 2)));
+  Alcotest.(check int) "t1 predicates gone" 0 (List.length (Pm.predicates_of pm (tid 1)));
+  (* Removing again is a no-op. *)
+  Pm.remove_txn pm (tid 1)
+
+let test_remove_pred () =
+  let pm = Pm.create () in
+  let p = Pm.register pm ~owner:(tid 1) ~kind:Pm.Probe 9 in
+  Pm.attach pm p (pid 1);
+  Pm.attach pm p (pid 2);
+  Pm.remove_pred pm p;
+  Alcotest.(check int) "gone from page 1" 0 (List.length (Pm.attached pm (pid 1)));
+  Alcotest.(check int) "gone from page 2" 0 (List.length (Pm.attached pm (pid 2)));
+  Alcotest.(check int) "not in txn list" 0 (List.length (Pm.predicates_of pm (tid 1)))
+
+let test_replicate () =
+  let pm = Pm.create () in
+  let p1 = Pm.register pm ~owner:(tid 1) ~kind:Pm.Scan 10 in
+  let p2 = Pm.register pm ~owner:(tid 2) ~kind:Pm.Scan 99 in
+  Pm.attach pm p1 (pid 1);
+  Pm.attach pm p2 (pid 1);
+  (* Split: replicate only predicates consistent with the sibling's BP. *)
+  Pm.replicate pm ~src:(pid 1) ~dst:(pid 2) ~keep:(fun p -> Pm.formula p < 50);
+  Alcotest.(check (list int)) "filtered replication" [ 10 ]
+    (List.map Pm.formula (Pm.attached pm (pid 2)));
+  (* Replication is idempotent per-predicate. *)
+  Pm.replicate pm ~src:(pid 1) ~dst:(pid 2) ~keep:(fun _ -> true);
+  Alcotest.(check (list int)) "no duplicates" [ 10; 99 ]
+    (List.map Pm.formula (Pm.attached pm (pid 2)))
+
+let test_concurrent_usage () =
+  let pm = Pm.create () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 500 do
+              let p = Pm.register pm ~owner:(tid (d + 1)) ~kind:Pm.Scan i in
+              Pm.attach pm p (pid (i mod 7));
+              if i mod 3 = 0 then Pm.remove_pred pm p
+            done;
+            Pm.remove_txn pm (tid (d + 1))))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all cleaned up" 0 (Pm.total_predicates pm);
+  Alcotest.(check int) "no attachments leak" 0 (Pm.total_attachments pm)
+
+let suite =
+  [
+    Alcotest.test_case "register and attach" `Quick test_register_attach;
+    Alcotest.test_case "FIFO order" `Quick test_fifo_order;
+    Alcotest.test_case "remove txn" `Quick test_remove_txn;
+    Alcotest.test_case "remove pred" `Quick test_remove_pred;
+    Alcotest.test_case "replicate" `Quick test_replicate;
+    Alcotest.test_case "concurrent usage" `Quick test_concurrent_usage;
+  ]

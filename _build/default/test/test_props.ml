@@ -1,0 +1,284 @@
+(* Property-based tests (qcheck): extension-method laws, codec round-trips,
+   tree-vs-model equivalence, and crash-recovery soundness under random
+   schedules. *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module R = Gist_ams.Rtree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+module Ext = Gist_core.Ext
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 64; page_size = 1024 }
+
+(* --- generators --- *)
+
+let gen_brange =
+  QCheck.Gen.(
+    map2
+      (fun a b -> B.range a b)
+      (int_range (-1000) 1000)
+      (int_range (-1000) 1000))
+
+let gen_bpred = QCheck.Gen.(frequency [ (9, gen_brange); (1, return B.Empty) ])
+
+let arb_bpred = QCheck.make ~print:(Format.asprintf "%a" B.ext.Ext.pp) gen_bpred
+
+let gen_rdset =
+  QCheck.Gen.(
+    map (fun l -> Gist_ams.Rd_tree_ext.set l) (list_size (int_range 0 12) (int_range 0 100)))
+
+let arb_rdset =
+  QCheck.make ~print:(Format.asprintf "%a" Gist_ams.Rd_tree_ext.ext.Ext.pp) gen_rdset
+
+let gen_rect =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> R.rect a b c d)
+      (quad (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)
+         (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+
+let arb_rect = QCheck.make ~print:(Format.asprintf "%a" R.ext.Ext.pp) gen_rect
+
+(* --- extension laws --- *)
+
+let prop_union_covers ext arb =
+  QCheck.Test.make ~name:(ext.Ext.name ^ ": union covers members") ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 12) arb)
+    (fun ps ->
+      let u = ext.Ext.union ps in
+      List.for_all
+        (fun p ->
+          (* Empty members are vacuously covered. *)
+          (not (ext.Ext.consistent p p)) || ext.Ext.consistent p u)
+        ps)
+
+let prop_union_monotone ext arb =
+  QCheck.Test.make ~name:(ext.Ext.name ^ ": union is monotone for queries") ~count:300
+    (QCheck.pair arb (QCheck.list_of_size (QCheck.Gen.int_range 1 8) arb))
+    (fun (q, ps) ->
+      let u = ext.Ext.union ps in
+      (* If q is consistent with any member, it is consistent with the union. *)
+      (not (List.exists (fun p -> ext.Ext.consistent q p) ps)) || ext.Ext.consistent q u)
+
+let prop_pick_split_contract ext arb =
+  QCheck.Test.make ~name:(ext.Ext.name ^ ": pick_split partitions") ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 2 40) arb)
+    (fun ps ->
+      let arr = Array.of_list ps in
+      let a = ext.Ext.pick_split arr in
+      Array.length a = Array.length arr
+      && Array.exists (fun b -> b) a
+      && Array.exists (fun b -> not b) a)
+
+let prop_codec_roundtrip ext arb =
+  QCheck.Test.make ~name:(ext.Ext.name ^ ": codec roundtrip") ~count:500 arb (fun p ->
+      let s = Ext.encode_to_string ext p in
+      ext.Ext.matches_exact p (Ext.decode_of_string ext s))
+
+let prop_penalty_nonneg =
+  QCheck.Test.make ~name:"btree: penalty non-negative" ~count:300
+    (QCheck.pair arb_bpred arb_bpred)
+    (fun (bp, key) -> B.ext.Ext.penalty bp key >= 0.0)
+
+(* --- xoshiro --- *)
+
+let prop_xoshiro_bounds =
+  QCheck.Test.make ~name:"xoshiro: int within bounds" ~count:500
+    (QCheck.pair QCheck.small_int QCheck.pos_int)
+    (fun (seed, bound) ->
+      let bound = 1 + (bound mod 10_000) in
+      let r = Gist_util.Xoshiro.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Gist_util.Xoshiro.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+(* --- tree vs model --- *)
+
+type op = Insert of int | Delete of int | Vacuum | Reopen
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun k -> Insert k) (int_range 0 400));
+        (3, map (fun k -> Delete k) (int_range 0 400));
+        (1, return Vacuum);
+        (1, return Reopen);
+      ])
+
+let print_op = function
+  | Insert k -> Printf.sprintf "Insert %d" k
+  | Delete k -> Printf.sprintf "Delete %d" k
+  | Vacuum -> "Vacuum"
+  | Reopen -> "Reopen"
+
+let arb_ops = QCheck.make ~print:QCheck.Print.(list print_op) QCheck.Gen.(list_size (int_range 1 120) gen_op)
+
+let prop_tree_matches_model =
+  QCheck.Test.make ~name:"gist: random committed ops match a model" ~count:40 arb_ops
+    (fun ops ->
+      let db = ref (Db.create ~config ()) in
+      let t = ref (Gist.create !db B.ext ~empty_bp:B.Empty ()) in
+      let model : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert k ->
+            if not (Hashtbl.mem model k) then begin
+              let txn = Txn.begin_txn !db.Db.txns in
+              Gist.insert !t txn ~key:(B.key k) ~rid:(rid k);
+              Txn.commit !db.Db.txns txn;
+              Hashtbl.replace model k ()
+            end
+          | Delete k ->
+            if Hashtbl.mem model k then begin
+              let txn = Txn.begin_txn !db.Db.txns in
+              ignore (Gist.delete !t txn ~key:(B.key k) ~rid:(rid k));
+              Txn.commit !db.Db.txns txn;
+              Hashtbl.remove model k
+            end
+          | Vacuum -> Gist.vacuum !t
+          | Reopen ->
+            (* Crash with everything durable: a clean restart. *)
+            Gist_wal.Log_manager.force_all !db.Db.log;
+            let root = Gist.root !t in
+            let db' = Db.crash !db in
+            Recovery.restart db' B.ext;
+            db := db';
+            t := Gist.open_existing db' B.ext ~root ())
+        ops;
+      let txn = Txn.begin_txn !db.Db.txns in
+      let got =
+        Gist.search !t txn (B.range (-10) 1000)
+        |> List.map (fun (k, _) -> B.key_value k)
+        |> List.sort compare
+      in
+      Txn.commit !db.Db.txns txn;
+      let expected = Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare in
+      got = expected && Tree_check.ok (Tree_check.check !t))
+
+let prop_crash_recovery_sound =
+  QCheck.Test.make ~name:"gist: crash at random point preserves committed set" ~count:25
+    (QCheck.pair QCheck.small_int arb_ops)
+    (fun (seed, ops) ->
+      let rng = Gist_util.Xoshiro.create (seed + 1) in
+      let db = Db.create ~config () in
+      let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+      let model : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert k ->
+            if not (Hashtbl.mem model k) then begin
+              let txn = Txn.begin_txn db.Db.txns in
+              Gist.insert t txn ~key:(B.key k) ~rid:(rid k);
+              Txn.commit db.Db.txns txn;
+              Hashtbl.replace model k ()
+            end
+          | Delete k ->
+            if Hashtbl.mem model k then begin
+              let txn = Txn.begin_txn db.Db.txns in
+              ignore (Gist.delete t txn ~key:(B.key k) ~rid:(rid k));
+              Txn.commit db.Db.txns txn;
+              Hashtbl.remove model k
+            end
+          | Vacuum -> Gist.vacuum t
+          | Reopen -> ())
+        ops;
+      (* One loser in flight, then crash at a random durable point. *)
+      let loser = Txn.begin_txn db.Db.txns in
+      for i = 500 to 520 do
+        Gist.insert t loser ~key:(B.key i) ~rid:(rid i)
+      done;
+      let durable = Int64.to_int (Gist_wal.Log_manager.durable_lsn db.Db.log) in
+      let high = Int64.to_int (Gist_wal.Log_manager.last_lsn db.Db.log) in
+      let cut = durable + Gist_util.Xoshiro.int rng (high - durable + 1) in
+      Gist_wal.Log_manager.force db.Db.log (Int64.of_int cut);
+      let root = Gist.root t in
+      let db' = Db.crash db in
+      Recovery.restart db' B.ext;
+      let t' = Gist.open_existing db' B.ext ~root () in
+      let txn = Txn.begin_txn db'.Db.txns in
+      let got =
+        Gist.search t' txn (B.range (-10) 1000)
+        |> List.map (fun (k, _) -> B.key_value k)
+        |> List.sort compare
+      in
+      Txn.commit db'.Db.txns txn;
+      let expected = Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare in
+      got = expected && Tree_check.ok (Tree_check.check t'))
+
+let prop_cursor_matches_search =
+  QCheck.Test.make ~name:"cursor: drain equals search" ~count:30
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 150) (QCheck.int_range 0 500))
+       (QCheck.pair (QCheck.int_range 0 500) (QCheck.int_range 0 200)))
+    (fun (keys, (lo, width)) ->
+      let db = Db.create ~config () in
+      let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+      let txn = Txn.begin_txn db.Db.txns in
+      List.iteri
+        (fun i k ->
+          if Gist.search t txn (B.key k) = [] then Gist.insert t txn ~key:(B.key k) ~rid:(rid i))
+        keys;
+      let q = B.range lo (lo + width) in
+      let via_search =
+        Gist.search t txn q |> List.map (fun (k, _) -> B.key_value k) |> List.sort compare
+      in
+      let cursor = Cursor.open_ t txn q in
+      let rec drain acc =
+        match Cursor.next cursor with
+        | Some (k, _) -> drain (B.key_value k :: acc)
+        | None -> List.sort compare acc
+      in
+      let via_cursor = drain [] in
+      Cursor.close cursor;
+      Txn.commit db.Db.txns txn;
+      via_search = via_cursor)
+
+let prop_bulk_matches_incremental =
+  QCheck.Test.make ~name:"bulk_load: equals incremental insertion" ~count:25
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 300) (QCheck.int_range 0 2_000))
+    (fun keys ->
+      let uniq = List.sort_uniq compare keys in
+      let entries = Array.of_list (List.mapi (fun i k -> (B.key k, rid i)) uniq) in
+      let db = Db.create ~config () in
+      let bulk = Gist.bulk_load db B.ext ~empty_bp:B.Empty entries in
+      let txn = Txn.begin_txn db.Db.txns in
+      let got =
+        Gist.search bulk txn (B.range (-1) 3_000)
+        |> List.map (fun (k, _) -> B.key_value k)
+        |> List.sort compare
+      in
+      Txn.commit db.Db.txns txn;
+      got = uniq && Tree_check.ok (Tree_check.check bulk))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_union_covers B.ext arb_bpred;
+      prop_union_covers R.ext arb_rect;
+      prop_union_covers Gist_ams.Rd_tree_ext.ext arb_rdset;
+      prop_union_monotone B.ext arb_bpred;
+      prop_union_monotone R.ext arb_rect;
+      prop_union_monotone Gist_ams.Rd_tree_ext.ext arb_rdset;
+      prop_pick_split_contract B.ext arb_bpred;
+      prop_pick_split_contract R.ext arb_rect;
+      prop_pick_split_contract Gist_ams.Rd_tree_ext.ext arb_rdset;
+      prop_codec_roundtrip B.ext arb_bpred;
+      prop_codec_roundtrip R.ext arb_rect;
+      prop_codec_roundtrip Gist_ams.Rd_tree_ext.ext arb_rdset;
+      prop_penalty_nonneg;
+      prop_xoshiro_bounds;
+      prop_tree_matches_model;
+      prop_crash_recovery_sound;
+      prop_cursor_matches_search;
+      prop_bulk_matches_incremental;
+    ]

@@ -1,0 +1,197 @@
+(* Unit tests for gist_storage: identifiers, latches, disk, buffer pool. *)
+
+open Gist_storage
+
+let test_page_id () =
+  Alcotest.(check bool) "invalid" false (Page_id.is_valid Page_id.invalid);
+  let p = Page_id.of_int 7 in
+  Alcotest.(check bool) "valid" true (Page_id.is_valid p);
+  Alcotest.(check int) "roundtrip" 7 (Page_id.to_int p);
+  let b = Buffer.create 8 in
+  Page_id.encode b p;
+  Alcotest.(check bool) "codec" true
+    (Page_id.equal p (Page_id.decode (Gist_util.Codec.reader (Buffer.to_bytes b))))
+
+let test_rid () =
+  let r1 = Rid.make ~page:3 ~slot:9 and r2 = Rid.make ~page:3 ~slot:10 in
+  Alcotest.(check bool) "equal self" true (Rid.equal r1 r1);
+  Alcotest.(check bool) "not equal" false (Rid.equal r1 r2);
+  Alcotest.(check bool) "ordered" true (Rid.compare r1 r2 < 0);
+  let b = Buffer.create 8 in
+  Rid.encode b r1;
+  Alcotest.(check bool) "codec" true
+    (Rid.equal r1 (Rid.decode (Gist_util.Codec.reader (Buffer.to_bytes b))))
+
+let test_latch_shared_readers () =
+  let l = Latch.create () in
+  Latch.acquire l Latch.S;
+  Alcotest.(check bool) "second S admitted" true (Latch.try_acquire l Latch.S);
+  Alcotest.(check bool) "X refused while S held" false (Latch.try_acquire l Latch.X);
+  Latch.release l Latch.S;
+  Latch.release l Latch.S;
+  Alcotest.(check bool) "X after release" true (Latch.try_acquire l Latch.X);
+  Alcotest.(check bool) "S refused while X held" false (Latch.try_acquire l Latch.S);
+  Latch.release l Latch.X
+
+let test_latch_mutual_exclusion_domains () =
+  (* N domains increment a counter under the X latch; the result counts
+     every increment iff the latch is exclusive. *)
+  let l = Latch.create () in
+  let counter = ref 0 in
+  let per = 10_000 and n = 4 in
+  let domains =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Latch.acquire l Latch.X;
+              counter := !counter + 1;
+              Latch.release l Latch.X
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (n * per) !counter
+
+let test_latch_writer_not_starved () =
+  (* With a continuous stream of readers, a writer must still get in. *)
+  let l = Latch.create () in
+  let stop = Atomic.make false in
+  let readers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Latch.acquire l Latch.S;
+              Domain.cpu_relax ();
+              Latch.release l Latch.S
+            done))
+  in
+  let got_write = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        Latch.acquire l Latch.X;
+        Atomic.set got_write true;
+        Latch.release l Latch.X)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while (not (Atomic.get got_write)) && Gist_util.Clock.elapsed_s t0 < 5.0 do
+    Thread.yield ()
+  done;
+  Atomic.set stop true;
+  Domain.join writer;
+  List.iter Domain.join readers;
+  Alcotest.(check bool) "writer eventually admitted" true (Atomic.get got_write)
+
+let test_disk_read_write () =
+  let d = Disk.create ~page_size:256 () in
+  let img = Bytes.make 256 'x' in
+  Disk.write d (Page_id.of_int 5) img;
+  Alcotest.(check bytes) "read back" img (Disk.read d (Page_id.of_int 5));
+  Alcotest.(check bytes) "unwritten page is zeros" (Bytes.make 256 '\000')
+    (Disk.read d (Page_id.of_int 99));
+  Alcotest.(check bool) "copy-out isolation" true
+    (let r = Disk.read d (Page_id.of_int 5) in
+     Bytes.set r 0 '!';
+     Bytes.get (Disk.read d (Page_id.of_int 5)) 0 = 'x');
+  Alcotest.(check int) "page_count tracks high water" 6 (Disk.page_count d);
+  Alcotest.(check bool) "stats counted" true (Disk.reads d >= 3 && Disk.writes d = 1)
+
+let with_pool ?(capacity = 8) f =
+  let disk = Disk.create ~page_size:256 () in
+  let forced = ref [] in
+  let pool =
+    Buffer_pool.create ~capacity ~disk ~force_log:(fun lsn -> forced := lsn :: !forced)
+  in
+  f disk pool forced
+
+let test_pool_pin_and_dirty () =
+  with_pool (fun disk pool _forced ->
+      let p1 = Page_id.of_int 1 in
+      let frame = Buffer_pool.pin_new pool p1 in
+      Latch.acquire (Buffer_pool.latch frame) Latch.X;
+      Bytes.set (Buffer_pool.data frame) 100 'A';
+      Buffer_pool.mark_dirty pool frame ~lsn:42L;
+      Latch.release (Buffer_pool.latch frame) Latch.X;
+      Buffer_pool.unpin pool frame;
+      Alcotest.(check int64) "page lsn stored" 42L (Buffer_pool.page_lsn frame);
+      Alcotest.(check (list (pair int int64)))
+        "dirty page table" [ (1, 42L) ]
+        (List.map (fun (p, l) -> (Page_id.to_int p, l)) (Buffer_pool.dirty_page_table pool));
+      Buffer_pool.flush_page pool p1;
+      Alcotest.(check char) "flushed to disk" 'A' (Bytes.get (Disk.read disk p1) 100);
+      Alcotest.(check int) "DPT empty after flush" 0
+        (List.length (Buffer_pool.dirty_page_table pool)))
+
+let test_pool_eviction_wal_rule () =
+  with_pool ~capacity:4 (fun disk pool forced ->
+      (* Dirty one page, then fault in colliding pages (the pool is sharded
+         by page id) to force eviction from that shard. *)
+      let p1 = Page_id.of_int 1 in
+      let f = Buffer_pool.pin_new pool p1 in
+      Latch.acquire (Buffer_pool.latch f) Latch.X;
+      Bytes.set (Buffer_pool.data f) 50 'Z';
+      Buffer_pool.mark_dirty pool f ~lsn:77L;
+      Latch.release (Buffer_pool.latch f) Latch.X;
+      Buffer_pool.unpin pool f;
+      for i = 1 to 8 do
+        (* Same shard as page 1 for any power-of-two shard count <= 64. *)
+        let g = Buffer_pool.pin pool (Page_id.of_int (1 + (i * 64))) in
+        Buffer_pool.unpin pool g
+      done;
+      Alcotest.(check bool) "eviction happened" true (Buffer_pool.evictions pool > 0);
+      Alcotest.(check bool) "WAL rule: log forced up to page LSN" true
+        (List.exists (fun l -> l >= 77L) !forced);
+      Alcotest.(check char) "dirty page written back" 'Z' (Bytes.get (Disk.read disk p1) 50))
+
+let test_pool_hit_miss () =
+  with_pool (fun _disk pool _ ->
+      let p = Page_id.of_int 3 in
+      let f = Buffer_pool.pin pool p in
+      Buffer_pool.unpin pool f;
+      let f2 = Buffer_pool.pin pool p in
+      Buffer_pool.unpin pool f2;
+      Alcotest.(check int) "one miss" 1 (Buffer_pool.misses pool);
+      Alcotest.(check int) "one hit" 1 (Buffer_pool.hits pool))
+
+let test_pool_concurrent_pins () =
+  with_pool ~capacity:16 (fun _disk pool _ ->
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                let rng = Gist_util.Xoshiro.create d in
+                for _ = 1 to 2000 do
+                  let p = Page_id.of_int (1 + Gist_util.Xoshiro.int rng 40) in
+                  Buffer_pool.with_page pool p Latch.S (fun frame ->
+                      ignore (Buffer_pool.page_lsn frame))
+                done))
+      in
+      List.iter Domain.join domains;
+      Alcotest.(check int) "all pins released" 0
+        (List.length (Buffer_pool.dirty_page_table pool)))
+
+let test_pool_drop_all () =
+  with_pool (fun disk pool _ ->
+      let p = Page_id.of_int 2 in
+      let f = Buffer_pool.pin_new pool p in
+      Latch.acquire (Buffer_pool.latch f) Latch.X;
+      Bytes.set (Buffer_pool.data f) 0 'D';
+      Buffer_pool.mark_dirty pool f ~lsn:5L;
+      Latch.release (Buffer_pool.latch f) Latch.X;
+      Buffer_pool.unpin pool f;
+      Buffer_pool.drop_all pool;
+      (* The dirty update is lost — crash semantics. *)
+      Alcotest.(check char) "disk never saw the write" '\000' (Bytes.get (Disk.read disk p) 8))
+
+let suite =
+  [
+    Alcotest.test_case "page ids" `Quick test_page_id;
+    Alcotest.test_case "rids" `Quick test_rid;
+    Alcotest.test_case "latch S/X semantics" `Quick test_latch_shared_readers;
+    Alcotest.test_case "latch mutual exclusion (domains)" `Quick
+      test_latch_mutual_exclusion_domains;
+    Alcotest.test_case "latch writer not starved" `Quick test_latch_writer_not_starved;
+    Alcotest.test_case "disk read/write" `Quick test_disk_read_write;
+    Alcotest.test_case "pool pin and dirty tracking" `Quick test_pool_pin_and_dirty;
+    Alcotest.test_case "pool eviction honors WAL rule" `Quick test_pool_eviction_wal_rule;
+    Alcotest.test_case "pool hit/miss accounting" `Quick test_pool_hit_miss;
+    Alcotest.test_case "pool concurrent pins" `Quick test_pool_concurrent_pins;
+    Alcotest.test_case "pool drop_all loses volatile state" `Quick test_pool_drop_all;
+  ]

@@ -1,0 +1,181 @@
+(* Unique index tests (§8, experiment E10). *)
+
+open Gist_core
+module B = Gist_ams.Btree_ext
+module Rid = Gist_storage.Rid
+module Txn = Gist_txn.Txn_manager
+module Lock_manager = Gist_txn.Lock_manager
+
+let rid i = Rid.make ~page:1000 ~slot:i
+
+let config =
+  { Db.default_config with Db.max_entries = 8; pool_capacity = 128; page_size = 1024 }
+
+let make () =
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~unique:true ~empty_bp:B.Empty () in
+  (db, t)
+
+let test_basic_unique () =
+  let db, t = make () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 50 do
+    Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Alcotest.check_raises "duplicate rejected" Gist.Duplicate_key (fun () ->
+      Gist.insert t txn ~key:(B.key 25) ~rid:(rid 1025));
+  Txn.commit db.Db.txns txn
+
+let test_duplicate_error_repeatable () =
+  (* §8: a duplicate error leaves an S lock on the existing record so the
+     error repeats — a concurrent delete of that record must block. *)
+  let db, t = make () in
+  let setup = Txn.begin_txn db.Db.txns in
+  Gist.insert t setup ~key:(B.key 7) ~rid:(rid 7);
+  Txn.commit db.Db.txns setup;
+  let t1 = Txn.begin_txn db.Db.txns in
+  Alcotest.check_raises "first duplicate error" Gist.Duplicate_key (fun () ->
+      Gist.insert t t1 ~key:(B.key 7) ~rid:(rid 1007));
+  let deleter_done = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        ignore (Gist.delete t t2 ~key:(B.key 7) ~rid:(rid 7));
+        Txn.commit db.Db.txns t2;
+        Atomic.set deleter_done true)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.1 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "delete blocked by duplicate-error S lock" false
+    (Atomic.get deleter_done);
+  (* The error repeats within the same transaction. *)
+  Alcotest.check_raises "error is repeatable" Gist.Duplicate_key (fun () ->
+      Gist.insert t t1 ~key:(B.key 7) ~rid:(rid 1007));
+  Txn.commit db.Db.txns t1;
+  Domain.join d;
+  Alcotest.(check bool) "delete completed after" true (Atomic.get deleter_done)
+
+let test_reinsert_after_committed_delete () =
+  let db, t = make () in
+  let t1 = Txn.begin_txn db.Db.txns in
+  Gist.insert t t1 ~key:(B.key 3) ~rid:(rid 3);
+  Txn.commit db.Db.txns t1;
+  let t2 = Txn.begin_txn db.Db.txns in
+  Alcotest.(check bool) "delete" true (Gist.delete t t2 ~key:(B.key 3) ~rid:(rid 3));
+  Txn.commit db.Db.txns t2;
+  let t3 = Txn.begin_txn db.Db.txns in
+  Gist.insert t t3 ~key:(B.key 3) ~rid:(rid 1003);
+  Txn.commit db.Db.txns t3;
+  let t4 = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "one live entry" 1 (List.length (Gist.search t t4 (B.key 3)));
+  Txn.commit db.Db.txns t4
+
+let test_uncommitted_duplicate_blocks_then_errors () =
+  (* T1 inserted key 9 (uncommitted). T2's unique insert of 9 blocks on the
+     record lock; after T1 commits, T2 gets the duplicate error. *)
+  let db, t = make () in
+  let t1 = Txn.begin_txn db.Db.txns in
+  Gist.insert t t1 ~key:(B.key 9) ~rid:(rid 9);
+  let outcome = ref `Pending in
+  let d =
+    Domain.spawn (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        (match Gist.insert t t2 ~key:(B.key 9) ~rid:(rid 1009) with
+        | () -> outcome := `Inserted
+        | exception Gist.Duplicate_key -> outcome := `Duplicate
+        | exception Lock_manager.Deadlock _ -> outcome := `Deadlock);
+        Txn.commit db.Db.txns t2)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.1 do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "blocked while first insert uncommitted" true (!outcome = `Pending);
+  Txn.commit db.Db.txns t1;
+  Domain.join d;
+  Alcotest.(check bool) "duplicate after commit" true (!outcome = `Duplicate)
+
+let test_uncommitted_duplicate_then_abort_allows () =
+  let db, t = make () in
+  let t1 = Txn.begin_txn db.Db.txns in
+  Gist.insert t t1 ~key:(B.key 9) ~rid:(rid 9);
+  let outcome = ref `Pending in
+  let d =
+    Domain.spawn (fun () ->
+        let t2 = Txn.begin_txn db.Db.txns in
+        (match Gist.insert t t2 ~key:(B.key 9) ~rid:(rid 1009) with
+        | () -> outcome := `Inserted
+        | exception Gist.Duplicate_key -> outcome := `Duplicate
+        | exception Lock_manager.Deadlock _ -> outcome := `Deadlock);
+        Txn.commit db.Db.txns t2)
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  while Gist_util.Clock.elapsed_s t0 < 0.1 do
+    Thread.yield ()
+  done;
+  Txn.abort db.Db.txns t1;
+  Domain.join d;
+  Alcotest.(check bool) "insert allowed after abort" true (!outcome = `Inserted);
+  let t3 = Txn.begin_txn db.Db.txns in
+  Alcotest.(check int) "exactly one entry" 1 (List.length (Gist.search t t3 (B.key 9)));
+  Txn.commit db.Db.txns t3
+
+let test_racing_duplicate_inserts () =
+  (* The §8 race: two transactions inserting the same (new) value whose
+     probe phases both miss. The "= key" probe predicates force a deadlock;
+     exactly one insert survives. Repeated across keys and with domains. *)
+  let db, t = make () in
+  let winners = Atomic.make 0 in
+  let losers = Atomic.make 0 in
+  let run_one key me =
+    let rec attempt tries =
+      if tries > 20 then ()
+      else begin
+        let txn = Txn.begin_txn db.Db.txns in
+        match Gist.insert t txn ~key:(B.key key) ~rid:(rid ((me * 10_000) + key)) with
+        | () ->
+          Txn.commit db.Db.txns txn;
+          Atomic.incr winners
+        | exception Gist.Duplicate_key ->
+          Txn.commit db.Db.txns txn;
+          Atomic.incr losers
+        | exception Lock_manager.Deadlock _ ->
+          Txn.abort db.Db.txns txn;
+          attempt (tries + 1)
+      end
+    in
+    attempt 0
+  in
+  let keys = List.init 20 (fun i -> 100 + i) in
+  let d1 = Domain.spawn (fun () -> List.iter (fun k -> run_one k 1) keys) in
+  let d2 = Domain.spawn (fun () -> List.iter (fun k -> run_one k 2) keys) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "every key decided" 40 (Atomic.get winners + Atomic.get losers);
+  Alcotest.(check int) "exactly one winner per key" 20 (Atomic.get winners);
+  let txn = Txn.begin_txn db.Db.txns in
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d unique" k)
+        1
+        (List.length (Gist.search t txn (B.key k))))
+    keys;
+  Txn.commit db.Db.txns txn;
+  let report = Tree_check.check t in
+  Alcotest.(check bool) "tree consistent" true (Tree_check.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "basic unique rejection" `Quick test_basic_unique;
+    Alcotest.test_case "duplicate error repeatable" `Quick test_duplicate_error_repeatable;
+    Alcotest.test_case "reinsert after committed delete" `Quick
+      test_reinsert_after_committed_delete;
+    Alcotest.test_case "uncommitted duplicate blocks then errors" `Quick
+      test_uncommitted_duplicate_blocks_then_errors;
+    Alcotest.test_case "uncommitted duplicate then abort allows" `Quick
+      test_uncommitted_duplicate_then_abort_allows;
+    Alcotest.test_case "racing duplicate inserts" `Quick test_racing_duplicate_inserts;
+  ]

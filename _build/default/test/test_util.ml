@@ -1,0 +1,168 @@
+(* Unit tests for gist_util: dynarrays, RNG, codecs, stats. *)
+
+open Gist_util
+
+let test_dyn_basic () =
+  let d = Dyn.create () in
+  Alcotest.(check bool) "empty" true (Dyn.is_empty d);
+  for i = 0 to 99 do
+    Dyn.push d i
+  done;
+  Alcotest.(check int) "length" 100 (Dyn.length d);
+  Alcotest.(check int) "get" 42 (Dyn.get d 42);
+  Dyn.set d 42 1000;
+  Alcotest.(check int) "set" 1000 (Dyn.get d 42);
+  Alcotest.(check int) "pop" 99 (Dyn.pop d);
+  Alcotest.(check int) "length after pop" 99 (Dyn.length d);
+  Dyn.remove d 0;
+  Alcotest.(check int) "shift after remove" 1 (Dyn.get d 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Dyn: index 98 out of bounds [0,98)")
+    (fun () -> ignore (Dyn.get d 98))
+
+let test_dyn_iteration () =
+  let d = Dyn.of_list [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 4; 1; 5 ] (Dyn.to_list d);
+  Alcotest.(check int) "fold sum" 14 (Dyn.fold ( + ) 0 d);
+  Alcotest.(check bool) "exists" true (Dyn.exists (fun x -> x = 4) d);
+  Alcotest.(check bool) "for_all" false (Dyn.for_all (fun x -> x < 5) d);
+  Alcotest.(check (option int)) "find_index" (Some 2) (Dyn.find_index (fun x -> x = 4) d);
+  Dyn.filter_in_place (fun x -> x <> 1) d;
+  Alcotest.(check (list int)) "filter" [ 3; 4; 5 ] (Dyn.to_list d);
+  Dyn.sort compare d;
+  Alcotest.(check (list int)) "sort" [ 3; 4; 5 ] (Dyn.to_list d);
+  let d2 = Dyn.copy d in
+  Dyn.push d2 9;
+  Alcotest.(check int) "copy independent" 3 (Dyn.length d)
+
+let test_xoshiro_determinism () =
+  let a = Xoshiro.create 7 and b = Xoshiro.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next64 a) (Xoshiro.next64 b)
+  done;
+  let c = Xoshiro.create 8 in
+  Alcotest.(check bool) "different seed differs" true
+    (Xoshiro.next64 a <> Xoshiro.next64 c)
+
+let test_xoshiro_bounds () =
+  let r = Xoshiro.create 99 in
+  for _ = 1 to 10_000 do
+    let v = Xoshiro.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1_000 do
+    let f = Xoshiro.float r 2.5 in
+    Alcotest.(check bool) "float bound" true (f >= 0.0 && f < 2.5)
+  done;
+  for _ = 1 to 1_000 do
+    let z = Xoshiro.zipf r ~n:100 ~theta:0.9 in
+    Alcotest.(check bool) "zipf in range" true (z >= 0 && z < 100)
+  done
+
+let test_xoshiro_split () =
+  let parent = Xoshiro.create 5 in
+  let child1 = Xoshiro.split parent in
+  let child2 = Xoshiro.split parent in
+  Alcotest.(check bool) "split streams differ" true
+    (Xoshiro.next64 child1 <> Xoshiro.next64 child2)
+
+let test_shuffle_permutes () =
+  let r = Xoshiro.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Xoshiro.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_codec_roundtrip () =
+  let b = Buffer.create 64 in
+  Codec.put_u8 b 200;
+  Codec.put_u16 b 60000;
+  Codec.put_i32 b (-12345);
+  Codec.put_i64 b 0x1234_5678_9abc_def0L;
+  Codec.put_int b (-987654321);
+  Codec.put_bool b true;
+  Codec.put_float b 3.14159;
+  Codec.put_string b "hello GiST";
+  Codec.put_option Codec.put_i32 b (Some 7);
+  Codec.put_option Codec.put_i32 b None;
+  Codec.put_list Codec.put_i32 b [ 1; 2; 3 ];
+  let r = Codec.reader (Buffer.to_bytes b) in
+  Alcotest.(check int) "u8" 200 (Codec.get_u8 r);
+  Alcotest.(check int) "u16" 60000 (Codec.get_u16 r);
+  Alcotest.(check int) "i32" (-12345) (Codec.get_i32 r);
+  Alcotest.(check int64) "i64" 0x1234_5678_9abc_def0L (Codec.get_i64 r);
+  Alcotest.(check int) "int" (-987654321) (Codec.get_int r);
+  Alcotest.(check bool) "bool" true (Codec.get_bool r);
+  Alcotest.(check (float 1e-12)) "float" 3.14159 (Codec.get_float r);
+  Alcotest.(check string) "string" "hello GiST" (Codec.get_string r);
+  Alcotest.(check (option int)) "some" (Some 7) (Codec.get_option Codec.get_i32 r);
+  Alcotest.(check (option int)) "none" None (Codec.get_option Codec.get_i32 r);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.get_list Codec.get_i32 r);
+  Alcotest.(check int) "fully consumed" 0 (Codec.remaining r)
+
+let test_codec_truncation () =
+  let b = Buffer.create 8 in
+  Codec.put_i32 b 1;
+  let r = Codec.reader (Buffer.to_bytes b) in
+  ignore (Codec.get_i32 r);
+  Alcotest.(check bool) "truncated read raises" true
+    (match Codec.get_i64 r with _ -> false | exception Codec.Corrupt _ -> true)
+
+let test_checksum () =
+  let b1 = Bytes.of_string "the quick brown fox" in
+  let b2 = Bytes.of_string "the quick brown foy" in
+  Alcotest.(check bool) "different data, different sum" true
+    (Codec.checksum b1 0 (Bytes.length b1) <> Codec.checksum b2 0 (Bytes.length b2));
+  Alcotest.(check int) "deterministic" (Codec.checksum b1 0 5) (Codec.checksum b1 0 5)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Summary.max s);
+  let s2 = Stats.Summary.create () in
+  Stats.Summary.add s2 10.0;
+  let m = Stats.Summary.merge s s2 in
+  Alcotest.(check int) "merged count" 5 (Stats.Summary.count m);
+  Alcotest.(check (float 1e-9)) "merged max" 10.0 (Stats.Summary.max m)
+
+let test_histogram () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (Float.of_int i)
+  done;
+  let p50 = Stats.Histogram.percentile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 ~ 500 (got %g)" p50)
+    true
+    (p50 > 350.0 && p50 < 700.0);
+  let p99 = Stats.Histogram.percentile h 0.99 in
+  Alcotest.(check bool) (Printf.sprintf "p99 ~ 990 (got %g)" p99) true (p99 > 800.0)
+
+let test_txn_id () =
+  Alcotest.(check bool) "none is not some" false (Txn_id.is_some Txn_id.none);
+  let t = Txn_id.of_int 42 in
+  Alcotest.(check bool) "42 is some" true (Txn_id.is_some t);
+  Alcotest.(check int) "roundtrip" 42 (Txn_id.to_int t);
+  let b = Buffer.create 8 in
+  Txn_id.encode b t;
+  Alcotest.(check bool) "codec roundtrip" true
+    (Txn_id.equal t (Txn_id.decode (Codec.reader (Buffer.to_bytes b))))
+
+let suite =
+  [
+    Alcotest.test_case "dyn basic" `Quick test_dyn_basic;
+    Alcotest.test_case "dyn iteration" `Quick test_dyn_iteration;
+    Alcotest.test_case "xoshiro determinism" `Quick test_xoshiro_determinism;
+    Alcotest.test_case "xoshiro bounds" `Quick test_xoshiro_bounds;
+    Alcotest.test_case "xoshiro split" `Quick test_xoshiro_split;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec truncation" `Quick test_codec_truncation;
+    Alcotest.test_case "checksum" `Quick test_checksum;
+    Alcotest.test_case "summary stats" `Quick test_summary;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram;
+    Alcotest.test_case "txn ids" `Quick test_txn_id;
+  ]

@@ -1,0 +1,243 @@
+(* Unit tests for the WAL: the Table 1 record catalog round-trips and the
+   log manager's durability semantics. *)
+
+open Gist_wal
+module Page_id = Gist_storage.Page_id
+module Rid = Gist_storage.Rid
+module Txn_id = Gist_util.Txn_id
+
+let pid = Page_id.of_int
+
+let rid i = Rid.make ~page:7 ~slot:i
+
+(* One representative of every payload constructor — the full Table 1
+   catalog plus control records and CLR-carried inverses. *)
+let catalog : Log_record.payload list =
+  [
+    Log_record.Begin;
+    Log_record.Commit;
+    Log_record.Abort;
+    Log_record.End;
+    Log_record.Checkpoint_begin;
+    Log_record.Checkpoint_end
+      {
+        dirty_pages = [ (pid 1, 10L); (pid 2, 20L) ];
+        active_txns =
+          [
+            (Txn_id.of_int 1, Log_record.Active, 30L);
+            (Txn_id.of_int 2, Log_record.Aborting, 31L);
+            (Txn_id.of_int 3, Log_record.Committed, 32L);
+          ];
+        allocator = "alloc-snapshot";
+      };
+    Log_record.Clr { action = Log_record.Act_none; undo_next = 17L };
+    Log_record.Clr
+      {
+        action = Log_record.Act_apply (Log_record.Remove_leaf_entry { page = pid 4; rid = rid 1 });
+        undo_next = 18L;
+      };
+    Log_record.Parent_entry_update { parent = pid 1; child = pid 2; new_bp = "bp-bytes" };
+    Log_record.Split
+      {
+        orig = pid 3;
+        right = pid 9;
+        moved = [ "e1"; "e2"; "e3" ];
+        orig_old_nsn = 5L;
+        orig_new_nsn = 0L;
+        orig_old_rightlink = pid 4;
+        level = 0;
+      };
+    Log_record.Root_grow
+      {
+        root = pid 1;
+        child = pid 10;
+        entries = [ "a"; "b" ];
+        root_old_nsn = 2L;
+        old_level = 1;
+        root_bp = "rootbp";
+      };
+    Log_record.Garbage_collection { page = pid 5; rids = [ rid 1; rid 2 ] };
+    Log_record.Internal_entry_add { page = pid 5; entry = "ie" };
+    Log_record.Internal_entry_update { page = pid 5; child = pid 6; new_bp = "n"; old_bp = "o" };
+    Log_record.Internal_entry_delete { page = pid 5; entry = "ie" };
+    Log_record.Add_leaf_entry { page = pid 6; nsn = 9L; entry = "le"; rid = rid 3 };
+    Log_record.Mark_leaf_entry { page = pid 6; nsn = 9L; rid = rid 3 };
+    Log_record.Get_page { page = pid 11 };
+    Log_record.Free_page { page = pid 11 };
+    Log_record.Remove_leaf_entry { page = pid 6; rid = rid 3 };
+    Log_record.Unmark_leaf_entry { page = pid 6; rid = rid 3 };
+    Log_record.Unsplit
+      {
+        orig = pid 3;
+        right = pid 9;
+        moved = [ "e1" ];
+        restore_nsn = 5L;
+        restore_rightlink = pid 4;
+      };
+    Log_record.Root_shrink
+      { root = pid 1; child = pid 10; entries = [ "a" ]; restore_nsn = 2L; restore_level = 1 };
+    Log_record.Format_node { page = pid 1; level = 0; bp = "empty" };
+    Log_record.Set_rightlink { page = pid 2; new_rl = pid 9; old_rl = pid 3 };
+  ]
+
+let test_catalog_roundtrip () =
+  List.iteri
+    (fun i payload ->
+      let record =
+        { Log_record.lsn = Int64.of_int (i + 1); txn = Txn_id.of_int i; prev = 3L; ext = "btree"; payload }
+      in
+      let b = Buffer.create 128 in
+      Log_record.encode b record;
+      let decoded = Log_record.decode (Gist_util.Codec.reader (Buffer.to_bytes b)) in
+      Alcotest.(check bool)
+        (Format.asprintf "record %d (%a) roundtrips" i Log_record.pp record)
+        true (decoded = record))
+    catalog
+
+let test_redo_only_classification () =
+  (* Table 1: records with "none" in the undo column are redo-only. *)
+  let redo_only p = Log_record.is_redo_only p in
+  Alcotest.(check bool) "parent-entry-update" true
+    (redo_only (Log_record.Parent_entry_update { parent = pid 1; child = pid 2; new_bp = "" }));
+  Alcotest.(check bool) "garbage-collection" true
+    (redo_only (Log_record.Garbage_collection { page = pid 1; rids = [] }));
+  Alcotest.(check bool) "split is undoable" false
+    (redo_only
+       (Log_record.Split
+          {
+            orig = pid 1;
+            right = pid 2;
+            moved = [];
+            orig_old_nsn = 0L;
+            orig_new_nsn = 0L;
+            orig_old_rightlink = Page_id.invalid;
+            level = 0;
+          }));
+  Alcotest.(check bool) "add-leaf-entry is undoable" false
+    (redo_only (Log_record.Add_leaf_entry { page = pid 1; nsn = 0L; entry = ""; rid = rid 1 }));
+  Alcotest.(check bool) "get-page is undoable" false
+    (redo_only (Log_record.Get_page { page = pid 1 }))
+
+let test_pages_touched () =
+  Alcotest.(check (list int)) "split touches both" [ 3; 9 ]
+    (List.map Page_id.to_int
+       (Log_record.pages_touched
+          (Log_record.Split
+             {
+               orig = pid 3;
+               right = pid 9;
+               moved = [];
+               orig_old_nsn = 0L;
+               orig_new_nsn = 0L;
+               orig_old_rightlink = Page_id.invalid;
+               level = 0;
+             })));
+  Alcotest.(check (list int)) "clr inherits inner pages" [ 6 ]
+    (List.map Page_id.to_int
+       (Log_record.pages_touched
+          (Log_record.Clr
+             {
+               action = Log_record.Act_apply (Log_record.Remove_leaf_entry { page = pid 6; rid = rid 1 });
+               undo_next = 0L;
+             })))
+
+let test_log_manager_basics () =
+  let log = Log_manager.create () in
+  Alcotest.(check int64) "empty last_lsn" 0L (Log_manager.last_lsn log);
+  let l1 = Log_manager.append log ~txn:(Txn_id.of_int 1) ~prev:0L Log_record.Begin in
+  let l2 = Log_manager.append log ~txn:(Txn_id.of_int 1) ~prev:l1 Log_record.Commit in
+  Alcotest.(check int64) "dense lsns" 1L l1;
+  Alcotest.(check int64) "dense lsns 2" 2L l2;
+  Alcotest.(check int64) "last" 2L (Log_manager.last_lsn log);
+  (match Log_manager.read log l1 with
+  | Some r ->
+    Alcotest.(check bool) "payload" true (r.Log_record.payload = Log_record.Begin);
+    Alcotest.(check int64) "lsn" 1L r.Log_record.lsn
+  | None -> Alcotest.fail "record missing");
+  Alcotest.(check bool) "oob read" true (Log_manager.read log 99L = None)
+
+let test_log_durability_and_crash () =
+  let log = Log_manager.create () in
+  let t = Txn_id.of_int 1 in
+  let l1 = Log_manager.append log ~txn:t ~prev:0L Log_record.Begin in
+  let _l2 = Log_manager.append log ~txn:t ~prev:l1 (Log_record.Get_page { page = pid 3 }) in
+  let _l3 = Log_manager.append log ~txn:t ~prev:2L Log_record.Commit in
+  Log_manager.force log 2L;
+  Alcotest.(check int64) "durable watermark" 2L (Log_manager.durable_lsn log);
+  Log_manager.crash log;
+  Alcotest.(check int64) "tail dropped" 2L (Log_manager.last_lsn log);
+  Alcotest.(check bool) "lost record unreadable" true (Log_manager.read log 3L = None);
+  (* New appends continue from the durable point. *)
+  let l4 = Log_manager.append log ~txn:t ~prev:0L Log_record.Abort in
+  Alcotest.(check int64) "lsn continues" 3L l4
+
+let test_log_iteration_and_anchor () =
+  let log = Log_manager.create () in
+  let t = Txn_id.none in
+  for _ = 1 to 10 do
+    ignore (Log_manager.append log ~txn:t ~prev:0L Log_record.Checkpoint_begin)
+  done;
+  let n = ref 0 in
+  Log_manager.iter_from log 4L (fun r ->
+      incr n;
+      Alcotest.(check bool) "from 4" true (r.Log_record.lsn >= 4L));
+  Alcotest.(check int) "iterated 7" 7 !n;
+  Log_manager.set_anchor log 5L;
+  Log_manager.force_all log;
+  Alcotest.(check int64) "anchor" 5L (Log_manager.anchor log);
+  Log_manager.crash log;
+  Alcotest.(check int64) "anchor survives crash when durable" 5L (Log_manager.anchor log)
+
+let test_truncation () =
+  let log = Log_manager.create () in
+  let t = Txn_id.of_int 1 in
+  for _ = 1 to 50 do
+    ignore (Log_manager.append log ~txn:t ~prev:0L (Log_record.Get_page { page = pid 3 }))
+  done;
+  (* Nothing durable / no anchor: truncation must refuse. *)
+  Alcotest.(check int) "no anchor, nothing reclaimed" 0 (Log_manager.truncate_before log 40L);
+  Log_manager.force_all log;
+  Log_manager.set_anchor log 30L;
+  Alcotest.(check int) "reclaims below min(request, anchor)" 29
+    (Log_manager.truncate_before log 40L);
+  (* LSNs are stable across truncation. *)
+  Alcotest.(check bool) "pre-truncation record gone" true (Log_manager.read log 10L = None);
+  (match Log_manager.read log 35L with
+  | Some r -> Alcotest.(check int64) "retained record keeps its LSN" 35L r.Log_record.lsn
+  | None -> Alcotest.fail "retained record missing");
+  let l51 = Log_manager.append log ~txn:t ~prev:0L Log_record.Commit in
+  Alcotest.(check int64) "appends continue the sequence" 51L l51;
+  (* Iteration from below the truncation point yields only retained ones. *)
+  let first = ref 0L in
+  Log_manager.iter_from log 1L (fun r -> if !first = 0L then first := r.Log_record.lsn);
+  Alcotest.(check int64) "iteration starts at the retained base" 30L !first;
+  (* Idempotent. *)
+  Alcotest.(check int) "second truncate reclaims nothing" 0
+    (Log_manager.truncate_before log 40L)
+
+let test_concurrent_appends () =
+  let log = Log_manager.create () in
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              ignore
+                (Log_manager.append log ~txn:(Txn_id.of_int i) ~prev:0L Log_record.Begin)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int64) "all records assigned unique dense lsns" 4000L
+    (Log_manager.last_lsn log);
+  Alcotest.(check int) "count" 4000 (Log_manager.appended log)
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 catalog roundtrips" `Quick test_catalog_roundtrip;
+    Alcotest.test_case "redo-only classification" `Quick test_redo_only_classification;
+    Alcotest.test_case "pages touched" `Quick test_pages_touched;
+    Alcotest.test_case "log manager basics" `Quick test_log_manager_basics;
+    Alcotest.test_case "durability and crash" `Quick test_log_durability_and_crash;
+    Alcotest.test_case "iteration and anchor" `Quick test_log_iteration_and_anchor;
+    Alcotest.test_case "truncation" `Quick test_truncation;
+    Alcotest.test_case "concurrent appends" `Quick test_concurrent_appends;
+  ]
