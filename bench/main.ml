@@ -322,4 +322,8 @@ let () =
     "Shapes to check (details in EXPERIMENTS.md): link read ~ nolink read (E1:\n\
      the protocol is latch-free overhead); pure-check >> hybrid-check (E4);\n\
      scan-with-marks > clean scan (E7); parent-LSN read avoids the log\n\
-     manager's synchronization (E8)."
+     manager's synchronization (E8).";
+  print_newline ();
+  (* Kernel counters accumulated across every bench iteration, one
+     machine-parseable line (see OBSERVABILITY.md). *)
+  print_endline (Gist_harness.Report.metrics_json_line ())

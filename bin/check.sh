@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI-style gate: everything builds, all tests pass, docs build cleanly.
+# Run from the repo root: ./bin/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== dune build @doc =="
+dune build @doc
+
+echo "check.sh: all green"

@@ -13,6 +13,8 @@ module Rid = Gist_storage.Rid
 module Txn = Gist_txn.Txn_manager
 module Log = Gist_wal.Log_manager
 module Buffer_pool = Gist_storage.Buffer_pool
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
 
 type session = {
   mutable db : Db.t;
@@ -36,7 +38,11 @@ let help () =
   checkpoint          fuzzy checkpoint (bounds restart cost)
   flush               flush all dirty pages (background writer)
   crash               lose volatile state + unforced log tail, then restart
-  stats               pool/log/lock/tree statistics
+  stats               pool/log/lock/tree statistics + metrics registry
+  stats json          the metrics registry as one JSON object
+  trace on|off        enable/disable kernel event tracing
+  trace dump [n]      print the trace ring (last n events)
+  trace clear         drop all buffered trace events
   check               run the tree invariant checker
   help                this text
   quit                exit
@@ -79,7 +85,15 @@ let cmd_stats s =
     \         %d node deletes, %d predicate blocks\n"
     st.Gist.searches st.Gist.inserts st.Gist.deletes st.Gist.splits st.Gist.root_grows
     st.Gist.bp_updates st.Gist.rightlink_follows st.Gist.gc_entries st.Gist.node_deletes
-    st.Gist.pred_blocks
+    st.Gist.pred_blocks;
+  print_endline "metrics:";
+  print_string (Metrics.render_text (Metrics.snapshot ()))
+
+let cmd_trace_dump n =
+  let entries = Trace.dump ?last:n () in
+  List.iter (fun e -> Format.printf "%a@." Trace.pp_entry e) entries;
+  Printf.printf "(%d events%s)\n" (List.length entries)
+    (if Trace.enabled () then "" else "; tracing is off — 'trace on' to record")
 
 let dispatch s line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -169,6 +183,18 @@ let dispatch s line =
     s.tree <- Gist.open_existing db' B.ext ~root ();
     Printf.printf "crashed and restarted in %.2f ms\n" (Gist_util.Clock.elapsed_s t0 *. 1000.0)
   | [ "stats" ] -> cmd_stats s
+  | [ "stats"; "json" ] -> print_endline (Metrics.render_json (Metrics.snapshot ()))
+  | [ "trace"; "on" ] ->
+    Trace.enable ();
+    print_endline "tracing on"
+  | [ "trace"; "off" ] ->
+    Trace.disable ();
+    print_endline "tracing off"
+  | [ "trace"; "dump" ] -> cmd_trace_dump None
+  | [ "trace"; "dump"; n ] -> cmd_trace_dump (Some (int_of_string n))
+  | [ "trace"; "clear" ] ->
+    Trace.clear ();
+    print_endline "trace buffer cleared"
   | [ "check" ] ->
     let report = Tree_check.check s.tree in
     Format.printf "%a@." Tree_check.pp report

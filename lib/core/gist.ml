@@ -8,6 +8,44 @@ module Log_record = Gist_wal.Log_record
 module Lock_manager = Gist_txn.Lock_manager
 module Txn_manager = Gist_txn.Txn_manager
 module Pm = Gist_pred.Predicate_manager
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+(* Global metrics, aggregated across every tree in the process; the
+   per-tree [counters] below stay authoritative for per-object stats. *)
+let m_searches = Metrics.counter ~unit_:"ops" ~help:"search operations" "gist.search"
+
+let m_inserts = Metrics.counter ~unit_:"ops" ~help:"insert operations" "gist.insert"
+
+let m_deletes = Metrics.counter ~unit_:"ops" ~help:"logical-delete operations" "gist.delete"
+
+let m_splits = Metrics.counter ~unit_:"ops" ~help:"node splits (split NTAs)" "gist.split"
+
+let m_root_grows =
+  Metrics.counter ~unit_:"ops" ~help:"fixed-root splits growing the tree" "gist.root_grow"
+
+let m_bp_updates =
+  Metrics.counter ~unit_:"ops" ~help:"parent-entry BP expansions propagated" "gist.bp_update"
+
+let m_rightlinks =
+  Metrics.counter ~unit_:"ops"
+    ~help:"rightlink traversals compensating for missed splits (NSN mismatch)"
+    "gist.rightlink_follow"
+
+let m_gc_entries =
+  Metrics.counter ~unit_:"entries" ~help:"committed-deleted entries reclaimed" "gist.gc_entry"
+
+let m_node_deletes =
+  Metrics.counter ~unit_:"ops" ~help:"empty nodes retired by the drain technique" "gist.node_delete"
+
+let m_pred_blocks =
+  Metrics.counter ~unit_:"ops" ~help:"inserts blocked on a conflicting predicate" "gist.pred_block"
+
+let m_pred_checks =
+  Metrics.counter ~unit_:"ops" ~help:"insert step-6 conflict checks executed" "pred.check"
+
+let m_pred_conflicts =
+  Metrics.counter ~unit_:"preds" ~help:"conflicting predicates found by checks" "pred.conflict"
 
 exception Duplicate_key
 
@@ -114,6 +152,24 @@ let hook t label = t.hook label
 let hook_on t = t.hook != ignore
 
 let hookf t fmt = if hook_on t then Format.kasprintf t.hook fmt else Format.ikfprintf ignore Format.str_formatter fmt
+
+(* Record one rightlink compensation (§3): a traversal found a node whose
+   NSN is newer than its memorized value and must evaluate the right
+   sibling too. Bumps the per-tree counter and the global metric, and
+   under tracing emits the NSN-mismatch + traversal pair. *)
+let note_rightlink t ~from_pid ~memo node =
+  Atomic.incr t.counters.c_rightlinks;
+  Metrics.incr m_rightlinks;
+  if Trace.enabled () then begin
+    Trace.emit
+      (Trace.Nsn_mismatch { page = Page_id.to_int from_pid; memo; nsn = node.Node.nsn });
+    Trace.emit
+      (Trace.Rightlink
+         {
+           from_page = Page_id.to_int from_pid;
+           to_page = Page_id.to_int node.Node.rightlink;
+         })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Node access helpers                                                 *)
@@ -238,6 +294,7 @@ let search ?(isolation = `Repeatable_read) t txn query =
   let locks = t.db.Db.locks in
   let rr = isolation = `Repeatable_read in
   Atomic.incr t.counters.c_searches;
+  Metrics.incr m_searches;
   with_ctx txn ~keep_on_success:(fun _ -> []) t (fun ctx ->
       let results : (Rid.t, 'p) Hashtbl.t = Hashtbl.create 32 in
       (* Degree-2 (read committed) scans take no predicate and hold record
@@ -257,6 +314,7 @@ let search ?(isolation = `Repeatable_read) t txn query =
         with_node t pid Latch.S (fun frame node ->
             (* Detect splits missed since the pointer was memorized (§3). *)
             if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+              note_rightlink t ~from_pid:pid ~memo node;
               sig_lock t ctx node.Node.rightlink;
               stack := (node.Node.rightlink, memo) :: !stack;
               hook t (Format.asprintf "search:rightlink:%a" Page_id.pp node.Node.rightlink)
@@ -441,8 +499,13 @@ let rec split_node t txn ~parent_hint pid =
           else begin
             hook t "split:root-grow";
             Atomic.incr t.counters.c_root_grows;
+            Metrics.incr m_root_grows;
             let nta = Txn_manager.begin_nta txns txn in
             let child = Db.allocate_page t.db in
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Root_grow
+                   { root = Page_id.to_int t.root; child = Page_id.to_int child });
             ignore (Txn_manager.log_nta txns txn ~ext:t.ext.Ext.name (Log_record.Get_page { page = child }));
             let entries_enc =
               match root_node.Node.entries with
@@ -514,8 +577,13 @@ let rec split_node t txn ~parent_hint pid =
                 else begin
                   hookf t "split:node:%a" Page_id.pp pid;
                   Atomic.incr t.counters.c_splits;
+                  Metrics.incr m_splits;
                   let nta = Txn_manager.begin_nta txns txn in
                   let right = Db.allocate_page t.db in
+                  if Trace.enabled () then
+                    Trace.emit
+                      (Trace.Node_split
+                         { orig = Page_id.to_int pid; right = Page_id.to_int right });
                   ignore (Txn_manager.log_nta txns txn ~ext:t.ext.Ext.name (Log_record.Get_page { page = right }));
                   let preds_arr = Array.of_list (List.rev (Node.entry_preds node)) in
                   let assignment = Ext.check_pick_split t.ext preds_arr in
@@ -701,6 +769,7 @@ let propagate_bp t txn ~stack ~leaf needed_bp =
               if not (bp_equal t new_bp ie.Node.ie_bp) then begin
                 hookf t "bp-update:%a" Page_id.pp child;
                 Atomic.incr t.counters.c_bp_updates;
+                Metrics.incr m_bp_updates;
                 Buffer_pool.with_page t.db.Db.pool child Latch.X (fun child_frame ->
                     let child_node = Node.read t.ext child_frame in
                     let lsn =
@@ -763,6 +832,7 @@ let gc_leaf t frame node =
     | rids ->
       hookf t "gc:%a:%d" Page_id.pp node.Node.id (List.length rids);
       List.iter (fun _ -> Atomic.incr t.counters.c_gc_entries) rids;
+      Metrics.add m_gc_entries (List.length rids);
       let lsn =
         Gist_wal.Log_manager.append t.db.Db.log ~txn:Txn_id.none ~prev:Lsn.nil
           ~ext:t.ext.Ext.name
@@ -790,6 +860,7 @@ let locate_leaf t ctx key =
           let pen = t.ext.Ext.penalty node.Node.bp key in
           let next =
             if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+              note_rightlink t ~from_pid:pid ~memo node;
               sig_lock t ctx node.Node.rightlink;
               Some node.Node.rightlink
             end
@@ -868,9 +939,17 @@ let conflicting_preds t ~tid ~own ~key ~ancestors pid =
       ancestors
   in
   (* Dedup by physical identity. *)
-  List.fold_left
-    (fun acc p -> if List.memq p acc then acc else p :: acc)
-    leaf_conflicts from_ancestors
+  let conflicts =
+    List.fold_left
+      (fun acc p -> if List.memq p acc then acc else p :: acc)
+      leaf_conflicts from_ancestors
+  in
+  Metrics.incr m_pred_checks;
+  Metrics.add m_pred_conflicts (List.length conflicts);
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Pred_check { page = Page_id.to_int pid; conflicts = List.length conflicts });
+  conflicts
 
 (* Find the leaf currently holding the live entry [rid], starting from the
    page where it was placed: splits may have moved it right (follow
@@ -919,6 +998,7 @@ let insert_entry t txn ~key ~rid =
     t
     (fun ctx ->
       Atomic.incr t.counters.c_inserts;
+      Metrics.incr m_inserts;
       (* Phase 1: the data record is X-locked before the tree is touched. *)
       Lock_manager.lock locks tid (Lock_manager.Record rid) Lock_manager.X;
       let leaf0, memo0, stack0 = locate_leaf t ctx key in
@@ -932,6 +1012,7 @@ let insert_entry t txn ~key ~rid =
           let next =
             with_node t p Latch.S (fun _f node ->
                 if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+                  note_rightlink t ~from_pid:p ~memo node;
                   sig_lock t ctx node.Node.rightlink;
                   Some (node.Node.rightlink, t.ext.Ext.penalty node.Node.bp key)
                 end
@@ -1016,6 +1097,7 @@ let insert_entry t txn ~key ~rid =
         | _ :: _ ->
           hook t "insert:block";
           Atomic.incr t.counters.c_pred_blocks;
+          Metrics.incr m_pred_blocks;
           List.iter
             (fun owner ->
               Lock_manager.lock locks tid (Lock_manager.Txn owner) Lock_manager.S;
@@ -1078,6 +1160,7 @@ let unique_probe t txn key =
         hookf t "probe:visit:%a:memo=%a" Page_id.pp pid Lsn.pp memo;
         with_node t pid Latch.S (fun frame node ->
             if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+              note_rightlink t ~from_pid:pid ~memo node;
               sig_lock t ctx node.Node.rightlink;
               stack := (node.Node.rightlink, memo) :: !stack
             end;
@@ -1159,6 +1242,7 @@ let delete t txn ~key ~rid =
   let locks = t.db.Db.locks in
   let txns = t.db.Db.txns in
   Atomic.incr t.counters.c_deletes;
+  Metrics.incr m_deletes;
   with_ctx txn ~keep_on_success:(fun _ -> []) t (fun ctx ->
       (* Two-phase lock the data record first; this is what makes scans
          that returned it block us (and vice versa). *)
@@ -1171,6 +1255,7 @@ let delete t txn ~key ~rid =
         stack := List.tl !stack;
         with_node t pid Latch.X (fun frame node ->
             if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+              note_rightlink t ~from_pid:pid ~memo node;
               sig_lock t ctx node.Node.rightlink;
               stack := (node.Node.rightlink, memo) :: !stack
             end;
@@ -1254,6 +1339,7 @@ let try_delete_node t txn ~parent ~victim =
               else begin
                 hookf t "node-delete:%a" Page_id.pp victim;
                 Atomic.incr t.counters.c_node_deletes;
+                Metrics.incr m_node_deletes;
                 let nta = Txn_manager.begin_nta txns txn in
                 let stitched =
                   match left with

@@ -1,0 +1,227 @@
+open Gist_util
+
+type meta = { m_name : string; m_unit : string; m_help : string }
+
+type counter = { c_meta : meta; cell : int Atomic.t }
+
+(* Summaries and histograms shard per domain through DLS: the recording
+   path touches only the calling domain's private accumulator; the key's
+   init function registers each fresh shard with the instrument so
+   [snapshot] can merge shards of domains that have since terminated. *)
+type summary = {
+  s_meta : meta;
+  s_key : Stats.Summary.t Domain.DLS.key;
+  s_shards : Stats.Summary.t list ref;
+}
+
+type histogram = {
+  h_meta : meta;
+  h_key : Stats.Histogram.t Domain.DLS.key;
+  h_shards : Stats.Histogram.t list ref;
+}
+
+type instrument = C of counter | S of summary | H of histogram
+
+let mutex = Mutex.create ()
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let meta_of = function
+  | C c -> c.c_meta
+  | S s -> s.s_meta
+  | H h -> h.h_meta
+
+let with_registry f =
+  Mutex.lock mutex;
+  match f () with
+  | v ->
+    Mutex.unlock mutex;
+    v
+  | exception e ->
+    Mutex.unlock mutex;
+    raise e
+
+let kind_name = function C _ -> "counter" | S _ -> "summary" | H _ -> "histogram"
+
+let register name kind make select =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> (
+        match select existing with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s, not a %s" name
+               (kind_name existing) kind))
+      | None ->
+        let v, inst = make () in
+        Hashtbl.replace registry name inst;
+        v)
+
+let counter ?(unit_ = "ops") ?(help = "") name =
+  register name "counter"
+    (fun () ->
+      let c = { c_meta = { m_name = name; m_unit = unit_; m_help = help }; cell = Atomic.make 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+(* The DLS init function runs on first [get] in each domain; it must take
+   the registry mutex itself because it is not called under [register]. *)
+let summary ?(unit_ = "") ?(help = "") name =
+  register name "summary"
+    (fun () ->
+      let shards = ref [] in
+      let key =
+        Domain.DLS.new_key (fun () ->
+            let sh = Stats.Summary.create () in
+            Mutex.lock mutex;
+            shards := sh :: !shards;
+            Mutex.unlock mutex;
+            sh)
+      in
+      let s =
+        { s_meta = { m_name = name; m_unit = unit_; m_help = help }; s_key = key; s_shards = shards }
+      in
+      (s, S s))
+    (function S s -> Some s | _ -> None)
+
+let histogram ?(unit_ = "ns") ?(help = "") name =
+  register name "histogram"
+    (fun () ->
+      let shards = ref [] in
+      let key =
+        Domain.DLS.new_key (fun () ->
+            let sh = Stats.Histogram.create () in
+            Mutex.lock mutex;
+            shards := sh :: !shards;
+            Mutex.unlock mutex;
+            sh)
+      in
+      let h =
+        { h_meta = { m_name = name; m_unit = unit_; m_help = help }; h_key = key; h_shards = shards }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let incr c = Atomic.incr c.cell
+
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+
+let value c = Atomic.get c.cell
+
+let observe s v = Stats.Summary.add (Domain.DLS.get s.s_key) v
+
+let record h v = Stats.Histogram.add (Domain.DLS.get h.h_key) v
+
+let time_ns h f =
+  let t0 = Clock.now_ns () in
+  match f () with
+  | v ->
+    record h (Float.of_int (Clock.now_ns () - t0));
+    v
+  | exception e ->
+    record h (Float.of_int (Clock.now_ns () - t0));
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type sample =
+  | Counter of int
+  | Summary of Stats.Summary.t
+  | Histogram of Stats.Histogram.t
+
+type snapshot = (meta * sample) list (* sorted by name *)
+
+let snapshot () =
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun _name inst acc ->
+          let sample =
+            match inst with
+            | C c -> Counter (Atomic.get c.cell)
+            | S s ->
+              Summary
+                (List.fold_left Stats.Summary.merge (Stats.Summary.create ()) !(s.s_shards))
+            | H h ->
+              Histogram
+                (List.fold_left Stats.Histogram.merge (Stats.Histogram.create ()) !(h.h_shards))
+          in
+          (meta_of inst, sample) :: acc)
+        registry []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a.m_name b.m_name))
+
+let find snap name =
+  List.find_opt (fun (m, _) -> String.equal m.m_name name) snap |> Option.map snd
+
+let counter_value snap name =
+  match find snap name with Some (Counter n) -> n | _ -> 0
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ inst ->
+          match inst with
+          | C c -> Atomic.set c.cell 0
+          | S s -> List.iter Stats.Summary.reset !(s.s_shards)
+          | H h -> List.iter Stats.Histogram.reset !(h.h_shards))
+        registry)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_text = function
+  | Counter n -> string_of_int n
+  | Summary s -> Format.asprintf "%a" Stats.Summary.pp s
+  | Histogram h -> Format.asprintf "%a" Stats.Histogram.pp h
+
+let render_text snap =
+  let rows = List.map (fun (m, s) -> (m.m_name, sample_text s, m.m_unit)) snap in
+  let w1 = List.fold_left (fun w (n, _, _) -> max w (String.length n)) 6 rows in
+  let w2 = List.fold_left (fun w (_, v, _) -> max w (String.length v)) 5 rows in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (n, v, u) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s  %-*s  %s\n" w1 n w2 v u))
+    rows;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let sample_json = function
+  | Counter n -> string_of_int n
+  | Summary s ->
+    if Stats.Summary.count s = 0 then {|{"count":0,"mean":0,"min":0,"max":0,"total":0}|}
+    else
+      Printf.sprintf {|{"count":%d,"mean":%s,"min":%s,"max":%s,"total":%s}|}
+        (Stats.Summary.count s)
+        (json_float (Stats.Summary.mean s))
+        (json_float (Stats.Summary.min s))
+        (json_float (Stats.Summary.max s))
+        (json_float (Stats.Summary.total s))
+  | Histogram h ->
+    Printf.sprintf {|{"count":%d,"p50":%s,"p95":%s,"p99":%s}|} (Stats.Histogram.count h)
+      (json_float (Stats.Histogram.percentile h 0.50))
+      (json_float (Stats.Histogram.percentile h 0.95))
+      (json_float (Stats.Histogram.percentile h 0.99))
+
+let render_json snap =
+  let fields =
+    List.map (fun (m, s) -> Printf.sprintf {|"%s":%s|} (json_escape m.m_name) (sample_json s)) snap
+  in
+  "{" ^ String.concat "," fields ^ "}"

@@ -1,0 +1,118 @@
+(** Process-wide metrics registry (the measurement half of the
+    observability layer; the event half is {!Trace}).
+
+    Every kernel subsystem registers named instruments here at module
+    initialization time and bumps them on its hot paths:
+
+    - {e counters} — monotonically increasing event counts backed by a
+      single [Atomic.t] (safe to bump from any domain);
+    - {e summaries} — [Stats.Summary] accumulators (count/mean/min/max)
+      sharded per domain via [Domain.DLS], so the update path never
+      synchronizes;
+    - {e histograms} — log-bucketed [Stats.Histogram] latency recorders,
+      also sharded per domain.
+
+    [snapshot] merges the per-domain shards into one consistent-enough view
+    (merging races benignly with concurrent updates: individual fields may
+    be a few events stale, which is acceptable for observability) and can
+    be rendered as an aligned text table or as a single JSON line suitable
+    for appending to a benchmark trajectory file.
+
+    Registration is idempotent: registering an existing name with the same
+    instrument kind returns the existing instrument, so independent modules
+    (or repeated test setups) can share an instrument by name. Registering
+    an existing name as a different kind raises [Invalid_argument].
+
+    The registry is global to the process, not per-[Db.t]: the kernel's
+    per-object statistics (per-tree operation counters, per-pool hit
+    ratios) remain where they were; this registry is the cross-cutting
+    aggregate wired into every subsystem. Use [reset] between runs when a
+    per-run view is needed. The catalog of every metric the kernel emits —
+    with units, emission sites, and the mapping to the paper's claims
+    C1–C6 — is documented in [OBSERVABILITY.md]. *)
+
+type counter
+(** A monotonically increasing integer instrument. *)
+
+type summary
+(** A per-domain-sharded count/mean/min/max accumulator. *)
+
+type histogram
+(** A per-domain-sharded log-bucketed latency histogram. *)
+
+(** {1 Registration}
+
+    [unit_] is a free-form unit label shown by the renderers ("ops", "ns",
+    "bytes", …); [help] is a one-line description. Both default to
+    sensible-but-empty values and are only informational. *)
+
+val counter : ?unit_:string -> ?help:string -> string -> counter
+(** Register (or look up) the counter called [name].
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val summary : ?unit_:string -> ?help:string -> string -> summary
+(** Register (or look up) the summary called [name].
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val histogram : ?unit_:string -> ?help:string -> string -> histogram
+(** Register (or look up) the histogram called [name].
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+(** {1 Recording} *)
+
+val incr : counter -> unit
+(** Add one. A single [Atomic.incr]; safe on any domain. *)
+
+val add : counter -> int -> unit
+(** Add [n] (used for byte counts). *)
+
+val value : counter -> int
+(** Current value (reads the atomic directly; no snapshot needed). *)
+
+val observe : summary -> float -> unit
+(** Record one observation into the calling domain's shard. *)
+
+val record : histogram -> float -> unit
+(** Record one observation (typically a latency in nanoseconds) into the
+    calling domain's shard. *)
+
+val time_ns : histogram -> (unit -> 'a) -> 'a
+(** [time_ns h f] runs [f ()] and records its wall-clock duration in
+    nanoseconds into [h]. *)
+
+(** {1 Snapshots and rendering} *)
+
+(** One merged instrument value inside a snapshot. *)
+type sample =
+  | Counter of int
+  | Summary of Gist_util.Stats.Summary.t
+  | Histogram of Gist_util.Stats.Histogram.t
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Merge every per-domain shard of every registered instrument. The result
+    is detached from the live registry (later updates do not affect it). *)
+
+val find : snapshot -> string -> sample option
+(** Look up one instrument's merged value by name. *)
+
+val counter_value : snapshot -> string -> int
+(** The value of counter [name] in the snapshot, or [0] if it does not
+    exist (or is not a counter) — convenient for assertions. *)
+
+val render_text : snapshot -> string
+(** Aligned [name value unit] table, one instrument per line, sorted by
+    name. Summaries and histograms render their [Stats] one-line form. *)
+
+val render_json : snapshot -> string
+(** The snapshot as a single-line JSON object keyed by metric name.
+    Counters become integers; summaries become
+    [{"count","mean","min","max","total"}]; histograms become
+    [{"count","p50","p95","p99"}]. Keys are sorted, so output is
+    deterministic for a given state. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument, including all per-domain shards.
+    Call only while no other domain is recording (between runs): resetting
+    races unsynchronized with concurrent [observe]/[record]. *)

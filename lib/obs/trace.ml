@@ -1,0 +1,126 @@
+open Gist_util
+
+type mode = S | X
+
+type event =
+  | Latch_acquire of { page : int; mode : mode }
+  | Latch_wait of { page : int; mode : mode; wait_ns : int }
+  | Rightlink of { from_page : int; to_page : int }
+  | Nsn_mismatch of { page : int; memo : int64; nsn : int64 }
+  | Node_split of { orig : int; right : int }
+  | Root_grow of { root : int; child : int }
+  | Nta_begin of { txn : Txn_id.t }
+  | Nta_commit of { txn : Txn_id.t }
+  | Wal_append of { lsn : int64; bytes : int }
+  | Wal_force of { lsn : int64 }
+  | Lock_wait of { txn : Txn_id.t; name : string; mode : mode }
+  | Deadlock_victim of { txn : Txn_id.t }
+  | Pred_attach of { page : int; owner : Txn_id.t }
+  | Pred_check of { page : int; conflicts : int }
+  | Bp_hit of { page : int }
+  | Bp_miss of { page : int }
+  | Bp_evict of { page : int; dirty : bool }
+
+type entry = { ts : int; domain : int; seq : int; event : event }
+
+(* Each domain's ring is private to that domain for writes; [dump]/[clear]
+   read the rings of other (usually quiescent) domains. [slots] is an
+   option array so a partially filled ring needs no sentinel entries. *)
+type ring = { dom : int; slots : entry option array; mutable next : int }
+
+let on = Atomic.make false
+
+let capacity = Atomic.make 4096
+
+let rings_mutex = Mutex.create ()
+
+let rings : ring list ref = ref []
+
+let ring_key : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          dom = (Domain.self () :> int);
+          slots = Array.make (Atomic.get capacity) None;
+          next = 0;
+        }
+      in
+      Mutex.lock rings_mutex;
+      rings := r :: !rings;
+      Mutex.unlock rings_mutex;
+      r)
+
+let enable () = Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let enabled () = Atomic.get on
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  Atomic.set capacity n
+
+let emit event =
+  if Atomic.get on then begin
+    let r = Domain.DLS.get ring_key in
+    let cap = Array.length r.slots in
+    r.slots.(r.next mod cap) <- Some { ts = Clock.now_ns (); domain = r.dom; seq = r.next; event };
+    r.next <- r.next + 1
+  end
+
+let dump ?last () =
+  Mutex.lock rings_mutex;
+  let all = !rings in
+  Mutex.unlock rings_mutex;
+  let entries =
+    List.concat_map
+      (fun r -> Array.to_list r.slots |> List.filter_map (fun e -> e))
+      all
+    |> List.sort (fun a b ->
+           match compare a.ts b.ts with
+           | 0 -> ( match compare a.domain b.domain with 0 -> compare a.seq b.seq | c -> c)
+           | c -> c)
+  in
+  match last with
+  | None -> entries
+  | Some n ->
+    let len = List.length entries in
+    if len <= n then entries else List.filteri (fun i _ -> i >= len - n) entries
+
+let clear () =
+  Mutex.lock rings_mutex;
+  List.iter
+    (fun r ->
+      Array.fill r.slots 0 (Array.length r.slots) None;
+      r.next <- 0)
+    !rings;
+  Mutex.unlock rings_mutex
+
+let pp_mode ppf = function
+  | S -> Format.pp_print_string ppf "S"
+  | X -> Format.pp_print_string ppf "X"
+
+let pp_event ppf = function
+  | Latch_acquire { page; mode } -> Format.fprintf ppf "latch.acquire P%d %a" page pp_mode mode
+  | Latch_wait { page; mode; wait_ns } ->
+    Format.fprintf ppf "latch.wait P%d %a %dns" page pp_mode mode wait_ns
+  | Rightlink { from_page; to_page } -> Format.fprintf ppf "rightlink P%d->P%d" from_page to_page
+  | Nsn_mismatch { page; memo; nsn } ->
+    Format.fprintf ppf "nsn.mismatch P%d memo=%Ld nsn=%Ld" page memo nsn
+  | Node_split { orig; right } -> Format.fprintf ppf "split P%d->P%d" orig right
+  | Root_grow { root; child } -> Format.fprintf ppf "root.grow P%d->P%d" root child
+  | Nta_begin { txn } -> Format.fprintf ppf "nta.begin %a" Txn_id.pp txn
+  | Nta_commit { txn } -> Format.fprintf ppf "nta.commit %a" Txn_id.pp txn
+  | Wal_append { lsn; bytes } -> Format.fprintf ppf "wal.append lsn=%Ld %dB" lsn bytes
+  | Wal_force { lsn } -> Format.fprintf ppf "wal.force lsn=%Ld" lsn
+  | Lock_wait { txn; name; mode } ->
+    Format.fprintf ppf "lock.wait %a %s %a" Txn_id.pp txn name pp_mode mode
+  | Deadlock_victim { txn } -> Format.fprintf ppf "deadlock.victim %a" Txn_id.pp txn
+  | Pred_attach { page; owner } -> Format.fprintf ppf "pred.attach P%d %a" page Txn_id.pp owner
+  | Pred_check { page; conflicts } -> Format.fprintf ppf "pred.check P%d conflicts=%d" page conflicts
+  | Bp_hit { page } -> Format.fprintf ppf "bp.hit P%d" page
+  | Bp_miss { page } -> Format.fprintf ppf "bp.miss P%d" page
+  | Bp_evict { page; dirty } ->
+    Format.fprintf ppf "bp.evict P%d%s" page (if dirty then " dirty" else "")
+
+let pp_entry ppf e = Format.fprintf ppf "%d d%d %a" e.ts e.domain pp_event e.event

@@ -1,5 +1,13 @@
 open Gist_util
 module Page_id = Gist_storage.Page_id
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+let m_registers =
+  Metrics.counter ~unit_:"ops" ~help:"predicates registered (scans, inserts, probes)"
+    "pred.register"
+
+let m_attaches = Metrics.counter ~unit_:"ops" ~help:"predicate-to-node attachments" "pred.attach"
 
 type kind = Scan | Insert | Probe
 
@@ -27,6 +35,7 @@ let create () =
   }
 
 let register t ~owner ~kind formula =
+  Metrics.incr m_registers;
   Mutex.lock t.mutex;
   let p =
     {
@@ -68,7 +77,9 @@ let attach_locked t p pid =
   let pid = Page_id.to_int pid in
   if not (Hashtbl.mem p.nodes pid) then begin
     Hashtbl.replace p.nodes pid ();
-    Dyn.push (node_list t pid) p
+    Dyn.push (node_list t pid) p;
+    Metrics.incr m_attaches;
+    if Trace.enabled () then Trace.emit (Trace.Pred_attach { page = pid; owner = p.p_owner })
   end
 
 let attach t p pid =

@@ -23,16 +23,28 @@ type kind =
   | Probe  (** A unique-insert "= key" predicate, released at operation end (§8). *)
 
 type 'p pred
+(** A registered predicate: owner transaction, kind, formula, and the set
+    of nodes it is attached to. *)
 
 type 'p t
+(** The manager's three §10.3 indexes (by transaction, by node, and the
+    per-predicate attachment set), behind one mutex. *)
 
 val create : unit -> 'p t
+(** An empty manager (one per database, shared by all trees). *)
 
 val register : 'p t -> owner:Gist_util.Txn_id.t -> kind:kind -> 'p -> 'p pred
+(** Create a predicate owned by [owner]; it is live (and visible to
+    conflict checks once attached) until {!remove_pred} or {!remove_txn}. *)
 
 val owner : 'p pred -> Gist_util.Txn_id.t
+(** The transaction that registered the predicate. *)
+
 val formula : 'p pred -> 'p
+(** The formula to test with the access method's [consistent]. *)
+
 val kind_of : 'p pred -> kind
+(** Why the predicate exists (scan protection, insert fairness, probe). *)
 
 val attach : 'p t -> 'p pred -> Gist_storage.Page_id.t -> unit
 (** Idempotent: attaching twice to the same node is a no-op. *)
@@ -41,6 +53,7 @@ val attached : 'p t -> Gist_storage.Page_id.t -> 'p pred list
 (** Predicates attached to the node, oldest first (FIFO). *)
 
 val is_attached : 'p t -> 'p pred -> Gist_storage.Page_id.t -> bool
+(** Whether {!attach} has linked this predicate to the node. *)
 
 val remove_pred : 'p t -> 'p pred -> unit
 (** Detach from every node and forget (unique-insert probes at op end). *)
@@ -60,9 +73,15 @@ val replicate :
     ancestor predicates down to a child (§4.3). *)
 
 val predicates_of : 'p t -> Gist_util.Txn_id.t -> 'p pred list
+(** All live predicates registered by the transaction. *)
 
 val total_attachments : 'p t -> int
 (** Number of (predicate, node) attachment pairs currently live — the
     working-set size a pure predicate-locking scheme would scan. *)
 
 val total_predicates : 'p t -> int
+(** Number of live predicates across all transactions.
+
+    Registration and attachment rates are also exported to the global
+    metrics registry as [pred.register] / [pred.attach]; see
+    OBSERVABILITY.md. *)

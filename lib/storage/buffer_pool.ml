@@ -1,3 +1,21 @@
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+let m_hits = Metrics.counter ~unit_:"ops" ~help:"page pins satisfied from the pool" "bp.hit"
+
+let m_misses = Metrics.counter ~unit_:"ops" ~help:"page pins that had to read the disk" "bp.miss"
+
+let m_evictions = Metrics.counter ~unit_:"ops" ~help:"frames recycled for another page" "bp.evict"
+
+let m_writebacks =
+  Metrics.counter ~unit_:"ops" ~help:"dirty images written back (evictions + flushes)"
+    "bp.writeback"
+
+let m_latched_io =
+  Metrics.counter ~unit_:"ops"
+    ~help:"disk I/Os issued while the calling domain held a latch (claim C1 invariant: 0)"
+    "latches_held_across_io"
+
 type frame = {
   mutable pid : Page_id.t;
   mutable image : Bytes.t;
@@ -83,11 +101,16 @@ let find_victim s =
     s.frames;
   !best
 
-let note_io t = if Latch.held_by_self () > 0 then Atomic.incr t.io_latched
+let note_io t =
+  if Latch.held_by_self () > 0 then begin
+    Atomic.incr t.io_latched;
+    Metrics.incr m_latched_io
+  end
 
 (* Write a dirty victim image back, honoring the WAL rule. Called without
    the shard mutex; the frame is protected by its [loading] flag. *)
 let write_back t pid image =
+  Metrics.incr m_writebacks;
   t.force_log (header_lsn image);
   Disk.write t.disk pid image
 
@@ -104,9 +127,13 @@ let rec pin_general t pid ~read_from_disk =
     touch t f;
     Mutex.unlock s.mutex;
     Atomic.incr t.hits;
+    Metrics.incr m_hits;
+    if Trace.enabled () then Trace.emit (Trace.Bp_hit { page = Page_id.to_int pid });
     f
   | None ->
     Atomic.incr t.misses;
+    Metrics.incr m_misses;
+    if Trace.enabled () then Trace.emit (Trace.Bp_miss { page = Page_id.to_int pid });
     if List.length s.frames < s.capacity then begin
       let f =
         {
@@ -120,6 +147,7 @@ let rec pin_general t pid ~read_from_disk =
           frame_latch = Latch.create ();
         }
       in
+      Latch.set_id f.frame_latch (Page_id.to_int pid);
       touch t f;
       s.frames <- f :: s.frames;
       Hashtbl.replace s.table (Page_id.to_int pid) f;
@@ -142,6 +170,10 @@ let rec pin_general t pid ~read_from_disk =
         pin_general t pid ~read_from_disk
       | Some victim ->
         Atomic.incr t.evictions;
+        Metrics.incr m_evictions;
+        if Trace.enabled () then
+          Trace.emit
+            (Trace.Bp_evict { page = Page_id.to_int victim.pid; dirty = victim.dirty });
         let old_pid = victim.pid in
         let old_dirty = victim.dirty in
         let old_image = victim.image in
@@ -163,6 +195,7 @@ let rec pin_general t pid ~read_from_disk =
         Mutex.lock s.mutex;
         Hashtbl.remove s.table (Page_id.to_int old_pid);
         victim.pid <- pid;
+        Latch.set_id victim.frame_latch (Page_id.to_int pid);
         victim.dirty <- false;
         victim.rec_lsn <- -1L;
         victim.image <- Bytes.make (Disk.page_size t.disk) '\000';

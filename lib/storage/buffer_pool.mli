@@ -18,12 +18,19 @@
     at zero; coarse baselines do not. *)
 
 type t
+(** A buffer pool: a fixed set of frames over a {!Disk.t}. *)
 
 type frame
+(** One resident page: image bytes, latch, pin count, dirty state. A
+    [frame] handle is only valid while its page is pinned by the holder. *)
 
 val create : capacity:int -> disk:Disk.t -> force_log:(int64 -> unit) -> t
+(** [create ~capacity ~disk ~force_log] makes a pool of [capacity] frames.
+    [force_log lsn] must make the log durable up to [lsn]; the pool calls
+    it before any dirty page write (the WAL constraint). *)
 
 val disk : t -> Disk.t
+(** The underlying disk (for allocation bookkeeping and direct checks). *)
 
 val pin : t -> Page_id.t -> frame
 (** Fault the page in if needed and pin it. The frame cannot be evicted
@@ -34,12 +41,16 @@ val pin_new : t -> Page_id.t -> frame
     zeroed). Used right after page allocation. *)
 
 val unpin : t -> frame -> unit
+(** Release one pin; at zero pins the frame becomes an eviction candidate. *)
 
 val latch : frame -> Latch.t
+(** The frame's reader–writer latch (acquired by callers, not by the pool). *)
+
 val data : frame -> Bytes.t
 (** The in-pool page image. Mutate only while holding the X latch. *)
 
 val page_id : frame -> Page_id.t
+(** The page currently bound to this frame. *)
 
 val mark_dirty : t -> frame -> lsn:int64 -> unit
 (** Record that the caller (holding the X latch) modified the page under a
@@ -67,10 +78,24 @@ val dirty_page_table : t -> (Page_id.t * int64) list
 val drop_all : t -> unit
 (** Crash simulation: discard every frame without flushing. *)
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Per-pool counters, mirrored into the global metrics registry
+    ([bp.hit], [bp.miss], [bp.evict], [bp.writeback],
+    [latches_held_across_io]) — see OBSERVABILITY.md. *)
 
 val hits : t -> int
+(** Pins satisfied without disk I/O. *)
+
 val misses : t -> int
+(** Pins that had to read the page from disk. *)
+
 val evictions : t -> int
+(** Frames recycled to make room (write-back first if dirty). *)
+
 val io_while_latched : t -> int
+(** Disk I/Os issued while the calling domain held any latch — the claim-C1
+    invariant; the GiST protocol keeps this at zero. *)
+
 val reset_stats : t -> unit
+(** Zero the per-pool counters (not the global metrics registry). *)

@@ -1,3 +1,13 @@
+module Metrics = Gist_obs.Metrics
+
+let m_reads = Metrics.counter ~unit_:"ops" ~help:"page reads issued to the disk" "disk.read"
+
+let m_writes = Metrics.counter ~unit_:"ops" ~help:"page writes issued to the disk" "disk.write"
+
+let h_read_ns = Metrics.histogram ~unit_:"ns" ~help:"page read latency" "disk.read_ns"
+
+let h_write_ns = Metrics.histogram ~unit_:"ns" ~help:"page write latency" "disk.write_ns"
+
 type t = {
   mutex : Mutex.t;
   mutable pages : Bytes.t option array;
@@ -43,17 +53,19 @@ let ensure t pid =
 let read t pid =
   let pid = Page_id.to_int pid in
   Atomic.incr t.reads;
-  spin t.io_delay_ns;
-  Mutex.lock t.mutex;
-  let img =
-    if pid < Array.length t.pages then
-      match t.pages.(pid) with
-      | Some b -> Bytes.copy b
-      | None -> Bytes.make t.page_size '\000'
-    else Bytes.make t.page_size '\000'
-  in
-  Mutex.unlock t.mutex;
-  img
+  Metrics.incr m_reads;
+  Metrics.time_ns h_read_ns (fun () ->
+      spin t.io_delay_ns;
+      Mutex.lock t.mutex;
+      let img =
+        if pid < Array.length t.pages then
+          match t.pages.(pid) with
+          | Some b -> Bytes.copy b
+          | None -> Bytes.make t.page_size '\000'
+        else Bytes.make t.page_size '\000'
+      in
+      Mutex.unlock t.mutex;
+      img)
 
 let write t pid img =
   let pid = Page_id.to_int pid in
@@ -62,11 +74,13 @@ let write t pid img =
       (Printf.sprintf "Disk.write: image is %d bytes, page size is %d" (Bytes.length img)
          t.page_size);
   Atomic.incr t.writes;
-  spin t.io_delay_ns;
-  Mutex.lock t.mutex;
-  ensure t pid;
-  t.pages.(pid) <- Some (Bytes.copy img);
-  Mutex.unlock t.mutex
+  Metrics.incr m_writes;
+  Metrics.time_ns h_write_ns (fun () ->
+      spin t.io_delay_ns;
+      Mutex.lock t.mutex;
+      ensure t pid;
+      t.pages.(pid) <- Some (Bytes.copy img);
+      Mutex.unlock t.mutex)
 
 let page_count t =
   Mutex.lock t.mutex;

@@ -1,3 +1,6 @@
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
 type mode = S | X
 
 type t = {
@@ -7,7 +10,17 @@ type t = {
   mutable readers : int;
   mutable writer : bool;
   mutable waiting_writers : int;
+  mutable id : int; (* page id for observability; 0 when unknown *)
 }
+
+let m_acquires = Metrics.counter ~unit_:"ops" ~help:"latch grants (S or X)" "latch.acquire"
+
+let m_waits =
+  Metrics.counter ~unit_:"ops" ~help:"latch acquisitions that had to block" "latch.wait"
+
+let h_wait_ns =
+  Metrics.histogram ~unit_:"ns" ~help:"blocked time of contended latch acquisitions"
+    "latch.wait_ns"
 
 let held_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
@@ -23,10 +36,21 @@ let create () =
     readers = 0;
     writer = false;
     waiting_writers = 0;
+    id = 0;
   }
+
+let set_id t id = t.id <- id
+
+let trace_mode = function S -> Trace.S | X -> Trace.X
 
 let acquire t mode =
   Mutex.lock t.mutex;
+  (* Contention is decided at entry: if the latch is free now, the grant
+     costs nothing extra; otherwise measure the blocked time. *)
+  let contended =
+    match mode with S -> t.writer || t.waiting_writers > 0 | X -> t.writer || t.readers > 0
+  in
+  let t0 = if contended then Gist_util.Clock.now_ns () else 0 in
   (match mode with
   | S ->
     while t.writer || t.waiting_writers > 0 do
@@ -41,6 +65,16 @@ let acquire t mode =
     t.waiting_writers <- t.waiting_writers - 1;
     t.writer <- true);
   Mutex.unlock t.mutex;
+  Metrics.incr m_acquires;
+  if contended then begin
+    let wait_ns = Gist_util.Clock.now_ns () - t0 in
+    Metrics.incr m_waits;
+    Metrics.record h_wait_ns (Float.of_int wait_ns);
+    if Trace.enabled () then
+      Trace.emit (Trace.Latch_wait { page = t.id; mode = trace_mode mode; wait_ns })
+  end;
+  if Trace.enabled () then
+    Trace.emit (Trace.Latch_acquire { page = t.id; mode = trace_mode mode });
   incr (held ())
 
 let release t mode =
@@ -76,7 +110,12 @@ let try_acquire t mode =
       end
   in
   Mutex.unlock t.mutex;
-  if ok then incr (held ());
+  if ok then begin
+    Metrics.incr m_acquires;
+    if Trace.enabled () then
+      Trace.emit (Trace.Latch_acquire { page = t.id; mode = trace_mode mode });
+    incr (held ())
+  end;
   ok
 
 let with_latch t mode f =

@@ -11,16 +11,31 @@
 
     The module keeps a per-domain count of held latches so the buffer pool
     can verify (and the benchmarks can report) the paper's central claim
-    that no latch is ever held across an I/O. *)
+    that no latch is ever held across an I/O.
+
+    Observability: every grant bumps the [latch.acquire] counter, and
+    contended acquisitions additionally bump [latch.wait] and record their
+    blocked time in the [latch.wait_ns] histogram (see OBSERVABILITY.md);
+    with tracing enabled, [Latch_acquire]/[Latch_wait] events are emitted
+    carrying the id set by {!set_id}. *)
 
 type t
 
+(** [S] shared (readers), [X] exclusive (one writer). *)
 type mode = S | X
 
 val create : unit -> t
+(** A fresh, unheld latch. *)
+
+val set_id : t -> int -> unit
+(** Label the latch with the page id it protects, for trace events. The
+    buffer pool calls this whenever it (re)binds a frame to a page. *)
 
 val acquire : t -> mode -> unit
+(** Block until the latch is grantable in [mode], then take it. *)
+
 val release : t -> mode -> unit
+(** Release a held latch; [mode] must match the grant. *)
 
 val try_acquire : t -> mode -> bool
 (** Non-blocking acquire; [true] on success. *)

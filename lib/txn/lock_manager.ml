@@ -1,4 +1,14 @@
 open Gist_util
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+let m_waits = Metrics.counter ~unit_:"ops" ~help:"lock requests that had to block" "lock.wait"
+
+let m_deadlocks =
+  Metrics.counter ~unit_:"ops" ~help:"deadlock victims (requests aborted)" "lock.deadlock"
+
+let h_wait_ns =
+  Metrics.histogram ~unit_:"ns" ~help:"blocked time of granted lock waits" "lock.wait_ns"
 
 exception Deadlock of Txn_id.t
 
@@ -58,6 +68,17 @@ let create () =
   }
 
 let shard t name = t.shards.(Hashtbl.hash name land (n_shards - 1))
+
+let pp_mode ppf = function
+  | S -> Format.pp_print_string ppf "S"
+  | X -> Format.pp_print_string ppf "X"
+
+let pp_name ppf = function
+  | Record rid -> Format.fprintf ppf "rec:%a" Gist_storage.Rid.pp rid
+  | Node pid -> Format.fprintf ppf "node:%a" Gist_storage.Page_id.pp pid
+  | Txn txn -> Format.fprintf ppf "txn:%a" Txn_id.pp txn
+
+let trace_mode = function S -> Trace.S | X -> Trace.X
 
 let compatible a b = match (a, b) with S, S -> true | _ -> false
 
@@ -216,6 +237,12 @@ let lock t txn name mode =
     end
     else begin
       Atomic.incr t.blocked;
+      Metrics.incr m_waits;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Lock_wait
+             { txn; name = Format.asprintf "%a" pp_name name; mode = trace_mode mode });
+      let wait_t0 = Clock.now_ns () in
       let wtr = { w_txn = txn; w_mode = mode; upgrade; granted = false } in
       (* Upgrades queue-jump: they already hold the resource. *)
       if upgrade then head.queue <- wtr :: head.queue else head.queue <- head.queue @ [ wtr ];
@@ -227,6 +254,8 @@ let lock t txn name mode =
       if dead then begin
         Hashtbl.remove t.waiting txn;
         Atomic.incr t.deadlocks;
+        Metrics.incr m_deadlocks;
+        if Trace.enabled () then Trace.emit (Trace.Deadlock_victim { txn });
         Mutex.unlock t.w;
         Mutex.lock s.m;
         if not wtr.granted then begin
@@ -248,6 +277,7 @@ let lock t txn name mode =
           Condition.wait s.c s.m
         done;
         Mutex.unlock s.m;
+        Metrics.record h_wait_ns (Float.of_int (Clock.now_ns () - wait_t0));
         Mutex.lock t.w;
         (* Only clear our own registration (we may have re-registered). *)
         (match Hashtbl.find_opt t.waiting txn with
@@ -385,15 +415,6 @@ let held_names t txn =
          in
          Mutex.unlock s.m;
          r)
-
-let pp_mode ppf = function
-  | S -> Format.pp_print_string ppf "S"
-  | X -> Format.pp_print_string ppf "X"
-
-let pp_name ppf = function
-  | Record rid -> Format.fprintf ppf "rec:%a" Gist_storage.Rid.pp rid
-  | Node pid -> Format.fprintf ppf "node:%a" Gist_storage.Page_id.pp pid
-  | Txn txn -> Format.fprintf ppf "txn:%a" Txn_id.pp txn
 
 let blocked_count t = Atomic.get t.blocked
 

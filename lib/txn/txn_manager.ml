@@ -2,6 +2,17 @@ open Gist_util
 module Lsn = Gist_wal.Lsn
 module Log_record = Gist_wal.Log_record
 module Log_manager = Gist_wal.Log_manager
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+let m_begins = Metrics.counter ~unit_:"ops" ~help:"transactions started" "txn.begin"
+
+let m_commits = Metrics.counter ~unit_:"ops" ~help:"transactions committed" "txn.commit"
+
+let m_aborts = Metrics.counter ~unit_:"ops" ~help:"transactions rolled back" "txn.abort"
+
+let m_ntas =
+  Metrics.counter ~unit_:"ops" ~help:"nested top actions opened (splits, node deletes)" "txn.nta"
 
 type txn = {
   tid : Txn_id.t;
@@ -53,6 +64,7 @@ let find t tid =
   r
 
 let begin_txn t =
+  Metrics.incr m_begins;
   Mutex.lock t.mutex;
   let tid = Txn_id.of_int t.next_id in
   t.next_id <- t.next_id + 1;
@@ -72,12 +84,16 @@ let log_update t txn ?(ext = "") payload =
 
 let log_nta = log_update
 
-let begin_nta _t txn = txn.last
+let begin_nta _t txn =
+  Metrics.incr m_ntas;
+  if Trace.enabled () then Trace.emit (Trace.Nta_begin { txn = txn.tid });
+  txn.last
 
 let end_nta t txn pre_nta_lsn =
   ignore
     (log_update t txn
-       (Log_record.Clr { action = Log_record.Act_none; undo_next = pre_nta_lsn }))
+       (Log_record.Clr { action = Log_record.Act_none; undo_next = pre_nta_lsn }));
+  if Trace.enabled () then Trace.emit (Trace.Nta_commit { txn = txn.tid })
 
 let run_end_hooks t tid = List.iter (fun f -> f tid) t.end_hooks
 
@@ -87,6 +103,7 @@ let drop t txn =
   Mutex.unlock t.mutex
 
 let commit t txn =
+  Metrics.incr m_commits;
   let commit_rec = log_update t txn Log_record.Commit in
   Log_manager.force t.log commit_rec;
   txn.status <- Log_record.Committed;
@@ -131,6 +148,7 @@ let undo_chain t txn ~stop_at =
   loop txn.last
 
 let abort t txn =
+  Metrics.incr m_aborts;
   txn.status <- Log_record.Aborting;
   ignore (log_update t txn Log_record.Abort);
   undo_chain t txn ~stop_at:Lsn.nil;

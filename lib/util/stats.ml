@@ -32,6 +32,12 @@ module Summary = struct
       max_v = Float.max a.max_v b.max_v;
     }
 
+  let reset t =
+    t.count <- 0;
+    t.total <- 0.0;
+    t.min_v <- infinity;
+    t.max_v <- neg_infinity
+
   let pp ppf t =
     Format.fprintf ppf "n=%d mean=%.3f min=%.3f max=%.3f" t.count (mean t) t.min_v t.max_v
 end
@@ -55,7 +61,10 @@ module Histogram = struct
       let i = int_of_float (Float.log v /. log_base) + buckets / 2 in
       Stdlib.max 0 (Stdlib.min (buckets - 1) i)
 
-  let value_of i = base ** Float.of_int (i + 1 - (buckets / 2))
+  (* Bucket 0 is the catch-all for v <= base^(-buckets/2), which in
+     practice means v = 0 (e.g. timings below clock granularity): report
+     it as 0 rather than a meaningless sub-picosecond midpoint. *)
+  let value_of i = if i = 0 then 0.0 else base ** Float.of_int (i + 1 - (buckets / 2))
 
   let add t v =
     t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
@@ -84,6 +93,10 @@ module Histogram = struct
   let merge a b =
     let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
     { counts; n = a.n + b.n }
+
+  let reset t =
+    Array.fill t.counts 0 buckets 0;
+    t.n <- 0
 
   let pp ppf t =
     Format.fprintf ppf "n=%d p50=%.3g p95=%.3g p99=%.3g" t.n (percentile t 0.50)

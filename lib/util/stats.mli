@@ -1,4 +1,5 @@
-(** Lightweight measurement accumulators for the experiment harness. *)
+(** Lightweight measurement accumulators for the experiment harness and the
+    metrics registry ([Gist_obs.Metrics]). *)
 
 (** Running counter with mean/min/max; not thread-safe (aggregate per-domain
     instances with [merge]). *)
@@ -6,14 +7,35 @@ module Summary : sig
   type t
 
   val create : unit -> t
+  (** A fresh accumulator with zero observations. *)
+
   val add : t -> float -> unit
+  (** Record one observation. *)
+
   val count : t -> int
+  (** Number of observations recorded. *)
+
   val mean : t -> float
+  (** Arithmetic mean; [0.0] when empty. *)
+
   val min : t -> float
+  (** Smallest observation; [infinity] when empty. *)
+
   val max : t -> float
+  (** Largest observation; [neg_infinity] when empty. *)
+
   val total : t -> float
+  (** Sum of all observations. *)
+
   val merge : t -> t -> t
+  (** Combine two accumulators into a fresh one (neither input changes). *)
+
+  val reset : t -> unit
+  (** Forget every observation, returning the accumulator to its freshly
+      [create]d state. *)
+
   val pp : Format.formatter -> t -> unit
+  (** One-line ["n=… mean=… min=… max=…"] rendering. *)
 end
 
 (** Fixed-resolution latency histogram (log-spaced buckets) supporting
@@ -22,13 +44,27 @@ module Histogram : sig
   type t
 
   val create : unit -> t
+  (** A fresh, empty histogram. *)
+
   val add : t -> float -> unit
+  (** Record one observation (non-positive values land in the lowest
+      bucket). *)
+
   val count : t -> int
+  (** Number of observations recorded. *)
+
   val percentile : t -> float -> float
-  (** [percentile t 0.99] is an upper bound on the p99 sample. *)
+  (** [percentile t 0.99] is an upper bound on the p99 sample (the upper
+      edge of its bucket, within ~11% of the true value). *)
 
   val merge : t -> t -> t
+  (** Combine two histograms into a fresh one (neither input changes). *)
+
+  val reset : t -> unit
+  (** Forget every observation. *)
+
   val pp : Format.formatter -> t -> unit
+  (** One-line ["n=… p50=… p95=… p99=…"] rendering. *)
 end
 
 val atomic_counter : unit -> (unit -> unit) * (unit -> int)

@@ -1,4 +1,16 @@
 open Gist_util
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+let m_appends = Metrics.counter ~unit_:"ops" ~help:"log records appended" "wal.append"
+
+let m_bytes = Metrics.counter ~unit_:"bytes" ~help:"serialized log bytes written" "wal.bytes"
+
+let m_forces = Metrics.counter ~unit_:"ops" ~help:"log force (durability) requests" "wal.force"
+
+let h_append_ns =
+  Metrics.histogram ~unit_:"ns" ~help:"serialize + LSN-assign + buffer latency of one append"
+    "wal.append_ns"
 
 (* Records are serialized outside the mutex (the expensive part); the
    critical section is only the LSN assignment and the push. The first 8
@@ -29,6 +41,7 @@ let create () =
   }
 
 let append t ~txn ~prev ?(ext = "") payload =
+  let t0 = Clock.now_ns () in
   let b = Buffer.create 128 in
   (* Placeholder LSN; patched under the mutex once assigned. *)
   Log_record.encode b { Log_record.lsn = Lsn.nil; txn; prev; ext; payload };
@@ -40,20 +53,30 @@ let append t ~txn ~prev ?(ext = "") payload =
   Dyn.push t.records img;
   Atomic.incr t.last;
   Mutex.unlock t.mutex;
+  Metrics.incr m_appends;
+  Metrics.add m_bytes (Bytes.length img);
+  Metrics.record h_append_ns (Float.of_int (Clock.now_ns () - t0));
+  if Trace.enabled () then Trace.emit (Trace.Wal_append { lsn; bytes = Bytes.length img });
   lsn
 
 let force t lsn =
   Atomic.incr t.forces;
+  Metrics.incr m_forces;
   Mutex.lock t.mutex;
   let high = Int64.of_int (t.base + Dyn.length t.records) in
   if Lsn.( < ) t.durable (Lsn.min lsn high) then t.durable <- Lsn.min lsn high;
-  Mutex.unlock t.mutex
+  let durable = t.durable in
+  Mutex.unlock t.mutex;
+  if Trace.enabled () then Trace.emit (Trace.Wal_force { lsn = durable })
 
 let force_all t =
   Atomic.incr t.forces;
+  Metrics.incr m_forces;
   Mutex.lock t.mutex;
   t.durable <- Int64.of_int (t.base + Dyn.length t.records);
-  Mutex.unlock t.mutex
+  let durable = t.durable in
+  Mutex.unlock t.mutex;
+  if Trace.enabled () then Trace.emit (Trace.Wal_force { lsn = durable })
 
 let last_lsn t = Int64.of_int (Atomic.get t.last)
 

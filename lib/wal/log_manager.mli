@@ -12,8 +12,11 @@
     it against the parent-LSN memorization optimization. *)
 
 type t
+(** A log manager: the record sequence, its durability watermark, and the
+    checkpoint anchor. *)
 
 val create : unit -> t
+(** An empty log; the first append gets LSN 1. *)
 
 val append :
   t ->
@@ -29,11 +32,13 @@ val force : t -> Lsn.t -> unit
 (** Make every record up to and including [lsn] durable. *)
 
 val force_all : t -> unit
+(** Make the whole log durable ({!force} up to {!last_lsn}). *)
 
 val last_lsn : t -> Lsn.t
 (** LSN of the most recently appended record (the global NSN counter). *)
 
 val durable_lsn : t -> Lsn.t
+(** The durability watermark: every record at or below it survives a crash. *)
 
 val read : t -> Lsn.t -> Log_record.t option
 (** Decode the record at [lsn]; [None] if out of range. *)
@@ -46,6 +51,8 @@ val set_anchor : t -> Lsn.t -> unit
     record"). Durable immediately, like a separate anchor block. *)
 
 val anchor : t -> Lsn.t
+(** The persisted checkpoint anchor; [Lsn.nil] before the first
+    {!set_anchor}. Restart's analysis pass begins here. *)
 
 val crash : t -> unit
 (** Discard the volatile tail: records after [durable_lsn] are lost, the
@@ -57,9 +64,20 @@ val truncate_before : t -> Lsn.t -> int
     (restart may need those). Returns how many records were reclaimed.
     Safe after a checkpoint whose dirty pages have been flushed. *)
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Per-log counters, mirrored into the global metrics registry
+    ([wal.append], [wal.bytes], [wal.force], [wal.append_ns]) — see
+    OBSERVABILITY.md. *)
 
 val appended : t -> int
+(** Records appended since creation (or {!reset_stats}). *)
+
 val forces : t -> int
+(** {!force} / {!force_all} calls (whether or not the watermark moved). *)
+
 val bytes_written : t -> int
+(** Total encoded size of appended records. *)
+
 val reset_stats : t -> unit
+(** Zero the per-log counters (not the global metrics registry). *)

@@ -22,5 +22,6 @@ let () =
       ("bulk", Test_bulk.suite);
       ("multitree", Test_multitree.suite);
       ("edge", Test_edge.suite);
+      ("obs", Test_obs.suite);
       ("props", Test_props.suite);
     ]
