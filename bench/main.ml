@@ -270,7 +270,7 @@ let f5_node_codec =
     done
   in
   let disk = Gist_storage.Disk.create ~page_size:2048 () in
-  let pool = Gist_storage.Buffer_pool.create ~capacity:8 ~disk ~force_log:(fun _ -> ()) in
+  let pool = Gist_storage.Buffer_pool.create ~capacity:8 ~disk ~force_log:(fun _ -> ()) () in
   let frame = Gist_storage.Buffer_pool.pin_new pool (Gist_storage.Page_id.of_int 1) in
   Test.make ~name:"f5/node-encode+decode-16entries"
     (Staged.stage @@ fun () ->

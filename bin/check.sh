@@ -1,14 +1,20 @@
 #!/bin/sh
 # CI-style gate: everything builds, all tests pass, docs build cleanly.
 # Run from the repo root: ./bin/check.sh
+#
+# FUZZ_POINTS tunes the crash-fuzz sweep's point budget (default 200;
+# CI raises it — see .github/workflows/ci.yml).
 set -eu
 
 cd "$(dirname "$0")/.."
 
+FUZZ_POINTS="${FUZZ_POINTS:-200}"
+export FUZZ_POINTS
+
 echo "== dune build @all =="
 dune build @all
 
-echo "== dune runtest =="
+echo "== dune runtest (FUZZ_POINTS=$FUZZ_POINTS) =="
 dune runtest
 
 echo "== dune build @doc =="

@@ -15,12 +15,15 @@ module Log = Gist_wal.Log_manager
 module Buffer_pool = Gist_storage.Buffer_pool
 module Metrics = Gist_obs.Metrics
 module Trace = Gist_obs.Trace
+module Fault = Gist_fault.Fault
+module Crash_fuzz = Gist_fault.Crash_fuzz
 
 type session = {
   mutable db : Db.t;
   mutable tree : B.t Gist.t;
   mutable txn : Txn.txn option; (* explicit transaction, if one is open *)
   mutable autocommit_count : int;
+  mutable fault : Fault.t option; (* armed fault-injection plan, if any *)
 }
 
 let help () =
@@ -38,6 +41,14 @@ let help () =
   checkpoint          fuzzy checkpoint (bounds restart cost)
   flush               flush all dirty pages (background writer)
   crash               lose volatile state + unforced log tail, then restart
+  fault arm <site> <n>  power loss at the n-th event of site (read|write|append)
+  fault torn <n> [keep]   torn page write at the n-th disk write, then power loss
+  fault ragged <n> [keep] power loss mid-append: n-th append leaves a ragged tail
+  fault ioerr <site> <n>  transient I/O error at the n-th event of site
+  fault delay <site> <n> <ms>  latency spike at the n-th event of site
+  fault status        events counted / points fired since arming
+  fault disarm        remove the armed plan
+  fault fuzz [points] [seed]  crash-fuzz sweep on fresh DBs (default 40 points)
   stats               pool/log/lock/tree statistics + metrics registry
   stats json          the metrics registry as one JSON object
   trace on|off        enable/disable kernel event tracing
@@ -56,6 +67,10 @@ let with_txn s f =
     let txn = Txn.begin_txn s.db.Db.txns in
     (match f txn with
     | () -> Txn.commit s.db.Db.txns txn
+    | exception Fault.Crash ->
+      (* Power is gone: there is nobody left to run the abort. The
+         transaction becomes a loser for restart to undo. *)
+      raise Fault.Crash
     | exception e ->
       Txn.abort s.db.Db.txns txn;
       raise e);
@@ -94,6 +109,64 @@ let cmd_trace_dump n =
   List.iter (fun e -> Format.printf "%a@." Trace.pp_entry e) entries;
   Printf.printf "(%d events%s)\n" (List.length entries)
     (if Trace.enabled () then "" else "; tracing is off — 'trace on' to record")
+
+(* Lose volatile state, run ARIES restart, re-open the tree. [db'] is the
+   post-crash environment ([Db.crash] or [Fault.materialize_crash]). *)
+let restart_session s db' =
+  (match s.txn with
+  | Some _ ->
+    s.txn <- None;
+    print_endline "(open transaction lost in the crash — it will be a loser)"
+  | None -> ());
+  let root = Gist.root s.tree in
+  let t0 = Gist_util.Clock.now_ns () in
+  Recovery.restart db' B.ext;
+  s.db <- db';
+  s.tree <- Gist.open_existing db' B.ext ~root ();
+  Printf.printf "crashed and restarted in %.2f ms\n" (Gist_util.Clock.elapsed_s t0 *. 1000.0)
+
+(* A fault point raised [Fault.Crash] out of a hook: materialize the power
+   loss (keeping any ragged WAL tail the plan produced) and recover. *)
+let crash_and_recover s =
+  let db' =
+    match s.fault with
+    | Some ctl ->
+      s.fault <- None;
+      List.iter
+        (fun (site, seq) -> Printf.printf "fault: %s event #%d fired — power loss\n" site seq)
+        (Fault.fired ctl);
+      Fault.materialize_crash ctl s.db
+    | None -> Db.crash s.db
+  in
+  restart_session s db'
+
+let site_of_string = function
+  | "read" -> Some Fault.Disk_read
+  | "write" -> Some Fault.Disk_write
+  | "append" -> Some Fault.Wal_append
+  | _ -> None
+
+let arm_plan s plan desc =
+  (match s.fault with
+  | Some old ->
+    Fault.disarm old;
+    print_endline "(previous plan disarmed)"
+  | None -> ());
+  s.fault <- Some (Fault.arm ~disk:s.db.Db.disk ~log:s.db.Db.log plan);
+  Printf.printf "armed: %s\n" desc
+
+let with_site site k =
+  match site_of_string site with
+  | Some st -> k st
+  | None -> Printf.printf "unknown site %S (read|write|append)\n" site
+
+let cmd_fault_fuzz ~points ~seed =
+  Printf.printf "crash-fuzz sweep: %d points, seed %d (fresh DBs; the session is untouched)\n"
+    points seed;
+  let summaries = Crash_fuzz.run_sweep ~seed ~points in
+  List.iter (fun sum -> Format.printf "%a@." Crash_fuzz.pp_summary sum) summaries;
+  let bad = List.exists (fun sum -> sum.Crash_fuzz.violations <> []) summaries in
+  print_endline (if bad then "ORACLE VIOLATIONS FOUND" else "all crash points recovered cleanly")
 
 let dispatch s line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -170,18 +243,68 @@ let dispatch s line =
     Buffer_pool.flush_all s.db.Db.pool;
     print_endline "all dirty pages flushed"
   | [ "crash" ] ->
-    (match s.txn with
-    | Some _ ->
-      s.txn <- None;
-      print_endline "(open transaction lost in the crash — it will be a loser)"
+    (match s.fault with
+    | Some ctl ->
+      Fault.disarm ctl;
+      s.fault <- None;
+      print_endline "(armed fault plan disarmed by the crash)"
     | None -> ());
-    let root = Gist.root s.tree in
-    let db' = Db.crash s.db in
-    let t0 = Gist_util.Clock.now_ns () in
-    Recovery.restart db' B.ext;
-    s.db <- db';
-    s.tree <- Gist.open_existing db' B.ext ~root ();
-    Printf.printf "crashed and restarted in %.2f ms\n" (Gist_util.Clock.elapsed_s t0 *. 1000.0)
+    restart_session s (Db.crash s.db)
+  | [ "fault"; "arm"; site; n ] ->
+    with_site site (fun st ->
+        let n = int_of_string n in
+        arm_plan s (Fault.crash_after st n)
+          (Printf.sprintf "power loss at %s event #%d" (Fault.site_name st) n))
+  | [ "fault"; "torn"; n ] ->
+    let n = int_of_string n in
+    let keep = s.db.Db.config.Db.page_size / 2 in
+    arm_plan s (Fault.torn_write_at n ~keep)
+      (Printf.sprintf "torn write at disk.write event #%d (keep %d bytes), then power loss" n keep)
+  | [ "fault"; "torn"; n; keep ] ->
+    let n = int_of_string n and keep = int_of_string keep in
+    arm_plan s (Fault.torn_write_at n ~keep)
+      (Printf.sprintf "torn write at disk.write event #%d (keep %d bytes), then power loss" n keep)
+  | [ "fault"; "ragged"; n ] ->
+    let n = int_of_string n in
+    arm_plan s (Fault.ragged_append_at n ~keep:9)
+      (Printf.sprintf "power loss mid-append at wal.append event #%d (9-byte ragged tail)" n)
+  | [ "fault"; "ragged"; n; keep ] ->
+    let n = int_of_string n and keep = int_of_string keep in
+    arm_plan s (Fault.ragged_append_at n ~keep)
+      (Printf.sprintf "power loss mid-append at wal.append event #%d (%d-byte ragged tail)" n keep)
+  | [ "fault"; "ioerr"; site; n ] ->
+    with_site site (fun st ->
+        let n = int_of_string n in
+        arm_plan s [ { Fault.site = st; at = n; act = Fault.Io_error_once } ]
+          (Printf.sprintf "transient I/O error at %s event #%d" (Fault.site_name st) n))
+  | [ "fault"; "delay"; site; n; ms ] ->
+    with_site site (fun st ->
+        let n = int_of_string n and ms = int_of_string ms in
+        arm_plan s [ { Fault.site = st; at = n; act = Fault.Delay_ns (ms * 1_000_000) } ]
+          (Printf.sprintf "%dms latency spike at %s event #%d" ms (Fault.site_name st) n))
+  | [ "fault"; "status" ] -> (
+    match s.fault with
+    | None -> print_endline "no fault plan armed"
+    | Some ctl ->
+      Printf.printf "events since arming: %d disk reads, %d disk writes, %d WAL appends\n"
+        (Fault.events_seen ctl Fault.Disk_read)
+        (Fault.events_seen ctl Fault.Disk_write)
+        (Fault.events_seen ctl Fault.Wal_append);
+      (match Fault.fired ctl with
+      | [] -> print_endline "no point has fired yet"
+      | fired ->
+        List.iter (fun (site, seq) -> Printf.printf "fired: %s event #%d\n" site seq) fired))
+  | [ "fault"; "disarm" ] -> (
+    match s.fault with
+    | None -> print_endline "no fault plan armed"
+    | Some ctl ->
+      Fault.disarm ctl;
+      s.fault <- None;
+      print_endline "disarmed")
+  | [ "fault"; "fuzz" ] -> cmd_fault_fuzz ~points:40 ~seed:1
+  | [ "fault"; "fuzz"; points ] -> cmd_fault_fuzz ~points:(int_of_string points) ~seed:1
+  | [ "fault"; "fuzz"; points; seed ] ->
+    cmd_fault_fuzz ~points:(int_of_string points) ~seed:(int_of_string seed)
   | [ "stats" ] -> cmd_stats s
   | [ "stats"; "json" ] -> print_endline (Metrics.render_json (Metrics.snapshot ()))
   | [ "trace"; "on" ] ->
@@ -202,9 +325,11 @@ let dispatch s line =
   | words -> Printf.printf "unknown command %S (try 'help')\n" (String.concat " " words)
 
 let () =
-  let db = Db.create () in
+  (* Full-page writes on, so a 'fault torn' crash is repairable from a
+     logged page image rather than zeroing the mangled page. *)
+  let db = Db.create ~config:{ Db.default_config with Db.full_page_writes = true } () in
   let tree = Gist.create db B.ext ~empty_bp:B.Empty () in
-  let s = { db; tree; txn = None; autocommit_count = 0 } in
+  let s = { db; tree; txn = None; autocommit_count = 0; fault = None } in
   let interactive = Unix.isatty Unix.stdin in
   if interactive then begin
     print_endline "gist_shell — a transactional, recoverable B-tree GiST (type 'help')";
@@ -217,6 +342,9 @@ let () =
        | Some line ->
          (try dispatch s line with
          | Exit -> raise Exit
+         | Fault.Crash -> crash_and_recover s
+         | Fault.Io_error ->
+           print_endline "I/O error (injected, transient): the operation failed; retry it"
          | Gist_txn.Lock_manager.Deadlock _ -> print_endline "deadlock: operation aborted"
          | Failure m | Invalid_argument m -> Printf.printf "error: %s\n" m);
          if interactive then print_string "> "

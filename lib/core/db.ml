@@ -18,6 +18,7 @@ type config = {
   nsn_source : nsn_source;
   memo_source : memo_source;
   gc_on_write : bool;
+  full_page_writes : bool;
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     nsn_source = Nsn_from_lsn;
     memo_source = Memo_parent_lsn;
     gc_on_write = true;
+    full_page_writes = false;
   }
 
 type t = {
@@ -46,9 +48,18 @@ type t = {
 }
 
 let attach ~config ~disk ~log =
+  let log_page_image =
+    if not config.full_page_writes then None
+    else
+      Some
+        (fun pid image ->
+          Log_manager.append log ~txn:Gist_util.Txn_id.none ~prev:Gist_wal.Lsn.nil
+            (Log_record.Page_image { page = pid; image = Bytes.to_string image }))
+  in
   let pool =
-    Buffer_pool.create ~capacity:config.pool_capacity ~disk ~force_log:(fun lsn ->
-        Log_manager.force log lsn)
+    Buffer_pool.create ?log_page_image ~capacity:config.pool_capacity ~disk
+      ~force_log:(fun lsn -> Log_manager.force log lsn)
+      ()
   in
   let locks = Gist_txn.Lock_manager.create () in
   let txns = Gist_txn.Txn_manager.create ~log ~locks in

@@ -35,6 +35,12 @@ type config = {
   gc_on_write : bool;
       (** Garbage-collect committed-deleted entries opportunistically when
           an insert passes through a leaf (§7.1). *)
+  full_page_writes : bool;
+      (** Log a [Page_image] record whenever a page first becomes dirty
+          (Postgres-style full-page writes). Costs log volume; buys restart
+          the ability to repair pages destroyed by torn disk writes
+          (detected by the disk's page checksums) — required for the
+          torn-write fault-injection modes of [Gist_fault]. *)
 }
 
 val default_config : config

@@ -6,6 +6,18 @@ module Lsn = Gist_wal.Lsn
 module Log_record = Gist_wal.Log_record
 module Log_manager = Gist_wal.Log_manager
 module Txn_manager = Gist_txn.Txn_manager
+module Metrics = Gist_obs.Metrics
+module Disk = Gist_storage.Disk
+
+let m_torn_repaired =
+  Metrics.counter ~unit_:"pages"
+    ~help:"pages failing their disk checksum at restart, repaired from a logged full-page image"
+    "recovery.torn_page_repaired"
+
+let m_torn_zeroed =
+  Metrics.counter ~unit_:"pages"
+    ~help:"pages failing their disk checksum at restart with no full-page image available (zeroed)"
+    "recovery.torn_page_zeroed"
 
 (* Apply [f] to the page under its X latch iff the page image predates
    [lsn]; stamp the page with [lsn] afterwards. The page-LSN comparison is
@@ -18,6 +30,15 @@ let cond_page db page ~lsn f =
       end)
 
 let write_back _db ext node frame = Node.write ext node frame
+
+(* Install a logged full-page image verbatim (extension-independent). The
+   image's own header carries the LSN of the record that first dirtied the
+   page; [cond_page] stamps the installing record's (higher) LSN on top,
+   mirroring what the live page carried. *)
+let redo_page_image db page image ~lsn =
+  cond_page db page ~lsn (fun frame ->
+      let dst = Buffer_pool.data frame in
+      Bytes.blit_string image 0 dst 0 (min (String.length image) (Bytes.length dst)))
 
 let add_decoded ext node s =
   match Node.decode_entry ext s with
@@ -189,6 +210,7 @@ let rec redo_payload_txn db ext ~txn ~lsn payload =
     Db.mark_available db page;
     cond_page db page ~lsn (fun frame ->
         Bytes.fill (Buffer_pool.data frame) 0 (Bytes.length (Buffer_pool.data frame)) '\000')
+  | Log_record.Page_image { page; image } -> redo_page_image db page image ~lsn
 
 let redo_payload db ext ~lsn payload = redo_payload_txn db ext ~txn:Txn_id.none ~lsn payload
 
@@ -381,6 +403,14 @@ let restart_multi db packed_exts =
     | Some (Ext.Packed _ as p) -> p
     | None -> failwith (Printf.sprintf "recovery: no registered extension %S" name)
   in
+  (* A ragged crash may have left a partially written record beyond the
+     durable prefix; restart's first act is to recognize and drop it. *)
+  ignore (Log_manager.discard_torn_tail log : bool);
+  (* Full-page-image logging is masked for the whole restart: an image
+     logged mid-redo would stamp the page past records still to be
+     replayed. Pages dirtied during restart are covered again as soon as
+     normal operation re-dirties them. *)
+  Buffer_pool.set_fpw db.Db.pool false;
   let anchor = Log_manager.anchor log in
   let start = if Lsn.( < ) Lsn.nil anchor then anchor else 1L in
   (* --- Analysis --- *)
@@ -415,16 +445,59 @@ let restart_multi db packed_exts =
         List.iter
           (fun p -> if not (Hashtbl.mem dpt p) then Hashtbl.replace dpt p lsn)
           (Log_record.pages_touched payload)));
+  (* --- Media check: repair pages a torn disk write destroyed ---
+     The disk detects them (page checksum mismatch); the latest logged
+     full-page image — durable before the page could reach the disk and
+     tear, by the WAL rule — is reinstalled, and conditional redo then
+     replays forward from it. A corrupt page with no image in the retained
+     log is zeroed: without full_page_writes there is no repair source. *)
+  let disk = Buffer_pool.disk db.Db.pool in
+  let corrupt = ref [] in
+  for p = 0 to Disk.page_count disk - 1 do
+    let pid = Page_id.of_int p in
+    if not (Disk.verify disk pid) then corrupt := pid :: !corrupt
+  done;
+  (match !corrupt with
+  | [] -> ()
+  | pages ->
+    let latest : (Page_id.t, string) Hashtbl.t = Hashtbl.create 8 in
+    Log_manager.iter_from log 1L (fun record ->
+        match record.Log_record.payload with
+        | Log_record.Page_image { page; image } ->
+          if List.exists (Page_id.equal page) pages then Hashtbl.replace latest page image
+        | _ -> ());
+    List.iter
+      (fun pid ->
+        match Hashtbl.find_opt latest pid with
+        | Some image ->
+          Disk.write disk pid (Bytes.of_string image);
+          Metrics.incr m_torn_repaired;
+          Logs.info (fun m ->
+              m "restart: torn page %a repaired from full-page image" Page_id.pp pid)
+        | None ->
+          Disk.write disk pid (Bytes.make (Disk.page_size disk) '\000');
+          Metrics.incr m_torn_zeroed;
+          Logs.warn (fun m ->
+              m
+                "restart: torn page %a has no full-page image in the retained log; zeroed \
+                 (enable full_page_writes)"
+                Page_id.pp pid))
+      pages);
   (* --- Redo: repeat history from the earliest recovery LSN --- *)
   let redo_start = Hashtbl.fold (fun _ l acc -> Lsn.min l acc) dpt Int64.max_int in
   if not (Int64.equal redo_start Int64.max_int) then
     Log_manager.iter_from log redo_start (fun record ->
-        match record.Log_record.ext with
-        | "" -> ()
-        | name ->
-          let (Ext.Packed ext) = ext_for name in
-          redo_payload_txn db ext ~txn:record.Log_record.txn ~lsn:record.Log_record.lsn
-            record.Log_record.payload);
+        match record.Log_record.payload with
+        | Log_record.Page_image { page; image } ->
+          (* Extension-independent; ext is "" on these, so dispatch first. *)
+          redo_page_image db page image ~lsn:record.Log_record.lsn
+        | _ -> (
+          match record.Log_record.ext with
+          | "" -> ()
+          | name ->
+            let (Ext.Packed ext) = ext_for name in
+            redo_payload_txn db ext ~txn:record.Log_record.txn ~lsn:record.Log_record.lsn
+              record.Log_record.payload));
   (* --- Undo losers --- *)
   Hashtbl.iter
     (fun tid (status, last_lsn) ->
@@ -438,6 +511,7 @@ let restart_multi db packed_exts =
         Logs.debug (fun m -> m "restart: rolling back loser %a" Txn_id.pp tid);
         Txn_manager.abort_for_restart txns txn)
     table;
+  Buffer_pool.set_fpw db.Db.pool true;
   (* Bound future restarts. *)
   Db.checkpoint db;
   Gist_wal.Log_manager.force_all log

@@ -1,0 +1,59 @@
+(** Deterministic crash fuzzer.
+
+    Runs a seeded single-domain workload — six mixed insert/delete/search
+    transactions (one in five aborting) over a B-tree and an R-tree in one
+    database, environment operations (flushes, checkpoints, vacuum, log
+    truncation) between them, and a trailing loser — then fires one
+    injected fault per run, crashes, recovers with
+    [Recovery.restart_multi], and checks the full oracle:
+
+    - both trees pass [Tree_check];
+    - exactly the committed effects are visible (a commit in flight at the
+      crash counts all-or-nothing, jointly across both trees), so
+      uncommitted work is gone and logically deleted entries are never
+      half-visible;
+    - the post-recovery scans never read unallocated pages
+      ([disk.read_unallocated] delta 0);
+    - vacuum after recovery changes nothing visible;
+    - a second restart, with no crash in between, is a no-op: exactly its
+      own checkpoint pair is appended and the contents are unchanged;
+    - [latches_held_across_io] stays 0 through the whole fault run (C1
+      holds even on crash paths).
+
+    The profiling pass counts the workload's disk-read / disk-write /
+    WAL-append events with a never-firing plan; crash points are then
+    spread evenly across that stream, so a sweep of N points covers the
+    event space edge to edge. Everything derives from the seed —
+    a failing point replays bit-identically.
+
+    This is the executable evidence for claims C4 (ARIES restart from any
+    crash point) and C5 (logical deletion + GC never expose half-done
+    work); see OBSERVABILITY.md and EXPERIMENTS.md E12. *)
+
+type mode =
+  | Clean  (** Power loss before a disk read/write or WAL append. *)
+  | Torn  (** A disk write lands mangled (prefix of new + old content),
+              then power loss; restart repairs from a full-page image. *)
+  | Ragged  (** Power loss mid-WAL-append: a garbage prefix of the lost
+               record persists past the durable watermark. *)
+  | Double  (** A clean crash, then a second crash in the middle of the
+               first restart — recovery must be restartable. *)
+
+val mode_name : mode -> string
+
+type summary = {
+  mode : mode;
+  points : int;  (** Crash points exercised. *)
+  crashes : int;  (** Runs in which the planned fault actually fired. *)
+  events : int;  (** Injectable events in one profiled workload run. *)
+  violations : string list;  (** Oracle violations — empty on success. *)
+}
+
+val run_mode : seed:int -> points:int -> mode -> summary
+(** Profile the seeded workload, then run [points] crash points spread
+    across its event stream in the given mode. *)
+
+val run_sweep : seed:int -> points:int -> summary list
+(** Split [points] across the four modes (2:1:1:1) with distinct seeds. *)
+
+val pp_summary : Format.formatter -> summary -> unit

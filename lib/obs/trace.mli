@@ -45,6 +45,9 @@ type event =
       (** A log record was appended. *)
   | Wal_force of { lsn : int64 }
       (** The log was forced durable up to [lsn]. *)
+  | Fault_inject of { site : string; seq : int }
+      (** A fault-injection plan fired at hook [site] (e.g. ["disk.write"])
+          on the [seq]-th event of that site since arming. *)
   | Lock_wait of { txn : Gist_util.Txn_id.t; name : string; mode : mode }
       (** A transaction blocked on a lock ([name] is the printed lock
           name, e.g. ["rec:…"] or ["txn:…"]). *)

@@ -41,6 +41,8 @@ type t = {
   shards : shard array;
   disk : Disk.t;
   force_log : int64 -> unit;
+  log_page_image : (Page_id.t -> Bytes.t -> int64) option;
+  mutable fpw_on : bool; (* restart redo/undo masks full-page writes *)
   tick : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -50,7 +52,7 @@ type t = {
 
 let n_shards = 16
 
-let create ~capacity ~disk ~force_log =
+let create ?log_page_image ~capacity ~disk ~force_log () =
   if capacity < 4 then invalid_arg "Buffer_pool.create: capacity < 4";
   let per_shard = max 2 (capacity / n_shards) in
   {
@@ -65,6 +67,8 @@ let create ~capacity ~disk ~force_log =
           });
     disk;
     force_log;
+    log_page_image;
+    fpw_on = true;
     tick = Atomic.make 0;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
@@ -230,11 +234,26 @@ let mark_dirty t f ~lsn =
   Bytes.set_int64_le f.image 0 lsn;
   let s = shard t f.pid in
   Mutex.lock s.mutex;
-  if not f.dirty then begin
+  let first = not f.dirty in
+  if first then begin
     f.dirty <- true;
     f.rec_lsn <- lsn
   end;
-  Mutex.unlock s.mutex
+  Mutex.unlock s.mutex;
+  (* Full-page write (torn-write protection): the first time a page
+     becomes dirty, log its complete post-modification image. Restart can
+     then repair a page a torn disk write destroyed by reinstalling the
+     image and redoing forward from it. The caller holds the page's X
+     latch, so the image is stable; the image's header carries [lsn], and
+     stamping the live header with the FPW record's own (higher) LSN means
+     the WAL rule — write-back forces up to the header LSN — makes the
+     image durable before any disk write of this dirty epoch can tear. *)
+  if first && t.fpw_on then
+    match t.log_page_image with
+    | None -> ()
+    | Some fpw -> Bytes.set_int64_le f.image 0 (fpw f.pid (Bytes.copy f.image))
+
+let set_fpw t on = t.fpw_on <- on
 
 let with_page t pid mode f =
   let frame = pin t pid in

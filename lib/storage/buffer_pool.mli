@@ -24,10 +24,23 @@ type frame
 (** One resident page: image bytes, latch, pin count, dirty state. A
     [frame] handle is only valid while its page is pinned by the holder. *)
 
-val create : capacity:int -> disk:Disk.t -> force_log:(int64 -> unit) -> t
-(** [create ~capacity ~disk ~force_log] makes a pool of [capacity] frames.
-    [force_log lsn] must make the log durable up to [lsn]; the pool calls
-    it before any dirty page write (the WAL constraint). *)
+val create :
+  ?log_page_image:(Page_id.t -> Bytes.t -> int64) ->
+  capacity:int ->
+  disk:Disk.t ->
+  force_log:(int64 -> unit) ->
+  unit ->
+  t
+(** [create ~capacity ~disk ~force_log ()] makes a pool of [capacity]
+    frames. [force_log lsn] must make the log durable up to [lsn]; the
+    pool calls it before any dirty page write (the WAL constraint).
+
+    [log_page_image pid image], when given, must append a full-page-image
+    record to the log and return its LSN; the pool calls it each time a
+    page transitions clean→dirty (Postgres-style full-page writes, the
+    repair source for torn disk writes) and stamps the page header with
+    the returned LSN so the WAL rule forces the image durable before the
+    page can reach — and be torn on — the disk. *)
 
 val disk : t -> Disk.t
 (** The underlying disk (for allocation bookkeeping and direct checks). *)
@@ -59,6 +72,13 @@ val mark_dirty : t -> frame -> lsn:int64 -> unit
 
 val page_lsn : frame -> int64
 (** The LSN in the page header. *)
+
+val set_fpw : t -> bool -> unit
+(** Mask (or unmask) full-page-image logging. Restart turns it off for the
+    redo and undo passes: a fresh image logged mid-redo would stamp the
+    page with an LSN beyond the records still to be replayed, making the
+    conditional redo skip them. No effect when [log_page_image] was not
+    supplied. *)
 
 val with_page :
   t -> Page_id.t -> Latch.mode -> (frame -> 'a) -> 'a

@@ -4,33 +4,65 @@ let m_reads = Metrics.counter ~unit_:"ops" ~help:"page reads issued to the disk"
 
 let m_writes = Metrics.counter ~unit_:"ops" ~help:"page writes issued to the disk" "disk.write"
 
+let m_reads_unalloc =
+  Metrics.counter ~unit_:"ops"
+    ~help:"reads of never-written pages (served as zeros; suspicious outside redo)"
+    "disk.read_unallocated"
+
 let h_read_ns = Metrics.histogram ~unit_:"ns" ~help:"page read latency" "disk.read_ns"
 
 let h_write_ns = Metrics.histogram ~unit_:"ns" ~help:"page write latency" "disk.write_ns"
 
+type write_effect = Write_full | Write_torn of Bytes.t
+
+type hooks = {
+  before_read : Page_id.t -> unit;
+  before_write : Page_id.t -> Bytes.t -> write_effect;
+  after_write : Page_id.t -> unit;
+}
+
 type t = {
   mutex : Mutex.t;
   mutable pages : Bytes.t option array;
+  mutable sums : int array; (* checksum of the *intended* image of each page *)
   mutable high : int;
   page_size : int;
   mutable io_delay_ns : int;
   reads : int Atomic.t;
   writes : int Atomic.t;
+  reads_unallocated : int Atomic.t;
+  mutable hooks : hooks option; (* fault injection; one branch per I/O when off *)
 }
+
+(* FNV-1a over the image: cheap, deterministic, good enough to detect a
+   torn write (the sidecar plays the role of the per-page checksum a real
+   pager embeds — keeping it beside the page avoids disturbing the node
+   layout). *)
+let checksum img =
+  let h = ref 0x2f29ce484222325 in
+  for i = 0 to Bytes.length img - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get img i)) * 0x100000001b3
+  done;
+  !h
 
 let create ?(io_delay_ns = 0) ~page_size () =
   if page_size < 64 then invalid_arg "Disk.create: page_size too small";
   {
     mutex = Mutex.create ();
     pages = Array.make 64 None;
+    sums = Array.make 64 0;
     high = 0;
     page_size;
     io_delay_ns;
     reads = Atomic.make 0;
     writes = Atomic.make 0;
+    reads_unallocated = Atomic.make 0;
+    hooks = None;
   }
 
 let page_size t = t.page_size
+
+let set_hooks t hooks = t.hooks <- hooks
 
 (* The simulated latency *blocks* the calling domain (a sleeping syscall),
    exactly like a synchronous disk read: other domains keep the CPU. This
@@ -46,11 +78,15 @@ let ensure t pid =
     let ncap = max (pid + 1) (n * 2) in
     let npages = Array.make ncap None in
     Array.blit t.pages 0 npages 0 n;
-    t.pages <- npages
+    t.pages <- npages;
+    let nsums = Array.make ncap 0 in
+    Array.blit t.sums 0 nsums 0 n;
+    t.sums <- nsums
   end;
   if pid >= t.high then t.high <- pid + 1
 
 let read t pid =
+  (match t.hooks with None -> () | Some h -> h.before_read pid);
   let pid = Page_id.to_int pid in
   Atomic.incr t.reads;
   Metrics.incr m_reads;
@@ -60,27 +96,53 @@ let read t pid =
       let img =
         if pid < Array.length t.pages then
           match t.pages.(pid) with
-          | Some b -> Bytes.copy b
-          | None -> Bytes.make t.page_size '\000'
-        else Bytes.make t.page_size '\000'
+          | Some b -> Some (Bytes.copy b)
+          | None -> None
+        else None
       in
       Mutex.unlock t.mutex;
-      img)
+      match img with
+      | Some b -> b
+      | None ->
+        Atomic.incr t.reads_unallocated;
+        Metrics.incr m_reads_unalloc;
+        Bytes.make t.page_size '\000')
 
 let write t pid img =
-  let pid = Page_id.to_int pid in
   if Bytes.length img <> t.page_size then
     invalid_arg
       (Printf.sprintf "Disk.write: image is %d bytes, page size is %d" (Bytes.length img)
          t.page_size);
+  let effect = match t.hooks with None -> Write_full | Some h -> h.before_write pid img in
+  let ipid = Page_id.to_int pid in
   Atomic.incr t.writes;
   Metrics.incr m_writes;
   Metrics.time_ns h_write_ns (fun () ->
       spin t.io_delay_ns;
       Mutex.lock t.mutex;
-      ensure t pid;
-      t.pages.(pid) <- Some (Bytes.copy img);
-      Mutex.unlock t.mutex)
+      ensure t ipid;
+      (* The sidecar checksum always covers the *intended* image; a torn
+         effect persists different bytes, so [verify] later fails — the
+         simulated analogue of a page whose embedded checksum no longer
+         matches its content. *)
+      t.sums.(ipid) <- checksum img;
+      (t.pages.(ipid) <-
+        (match effect with
+        | Write_full -> Some (Bytes.copy img)
+        | Write_torn persisted -> Some (Bytes.copy persisted)));
+      Mutex.unlock t.mutex);
+  match t.hooks with None -> () | Some h -> h.after_write pid
+
+let verify t pid =
+  let pid = Page_id.to_int pid in
+  Mutex.lock t.mutex;
+  let ok =
+    if pid < Array.length t.pages then
+      match t.pages.(pid) with None -> true | Some b -> checksum b = t.sums.(pid)
+    else true
+  in
+  Mutex.unlock t.mutex;
+  ok
 
 let page_count t =
   Mutex.lock t.mutex;
@@ -92,8 +154,11 @@ let reads t = Atomic.get t.reads
 
 let writes t = Atomic.get t.writes
 
+let reads_unallocated t = Atomic.get t.reads_unallocated
+
 let reset_stats t =
   Atomic.set t.reads 0;
-  Atomic.set t.writes 0
+  Atomic.set t.writes 0;
+  Atomic.set t.reads_unallocated 0
 
 let set_io_delay_ns t ns = t.io_delay_ns <- ns

@@ -8,26 +8,68 @@
     latency: it suspends only the calling domain, like a synchronous disk
     read, so protocols that hold latches across I/O pay a measurable
     price while protocols that release them overlap the waits (claim C1
-    in DESIGN.md) — even on a single-CPU host. Thread-safe. *)
+    in DESIGN.md) — even on a single-CPU host. Thread-safe.
+
+    {b Fault injection} ([Gist_fault]): each I/O consults an optional
+    {!hooks} record — a single [None] branch when injection is off. Hooks
+    run {e outside} the internal mutex, so an injected exception (a
+    simulated power loss) never leaves the disk — which survives the
+    crash — in a locked state. A sidecar checksum of every {e intended}
+    image makes torn writes (which persist different bytes) detectable via
+    {!verify}, modelling a page whose embedded checksum no longer matches
+    its content. *)
 
 type t
+
+(** What a write hook decides actually reaches the platter. *)
+type write_effect =
+  | Write_full  (** The intended image is persisted (the normal case). *)
+  | Write_torn of Bytes.t
+      (** These bytes are persisted instead (e.g. a prefix of the new image
+          spliced onto the old content); the checksum still covers the
+          intended image, so {!verify} will flag the page. *)
+
+(** Fault-injection hook points. [before_read]/[before_write] run before
+    the operation touches any shared state and may raise (crash, transient
+    error) or sleep (latency spike); [after_write] runs once the image has
+    landed (the place to crash {e after} a torn write persisted). *)
+type hooks = {
+  before_read : Page_id.t -> unit;
+  before_write : Page_id.t -> Bytes.t -> write_effect;
+  after_write : Page_id.t -> unit;
+}
 
 val create : ?io_delay_ns:int -> page_size:int -> unit -> t
 
 val page_size : t -> int
 
+val set_hooks : t -> hooks option -> unit
+(** Install (or clear) the fault-injection hooks. *)
+
 val read : t -> Page_id.t -> Bytes.t
-(** Fresh copy of the page image. A page never written reads as zeros. *)
+(** Fresh copy of the page image. A page never written reads as zeros and
+    bumps the [disk.read_unallocated] counter (see {!reads_unallocated}). *)
 
 val write : t -> Page_id.t -> Bytes.t -> unit
 (** [write t pid img] stores a copy of [img] (must be exactly [page_size]
     bytes). *)
+
+val verify : t -> Page_id.t -> bool
+(** Whether the stored image matches its sidecar checksum. [true] for
+    never-written pages; [false] exactly when a torn write was injected
+    and not yet overwritten — restart's media check scans this. *)
 
 val page_count : t -> int
 (** Number of pages with an id lower than the highest ever written. *)
 
 val reads : t -> int
 val writes : t -> int
+
+val reads_unallocated : t -> int
+(** Reads served from a never-written page (as zeros). Nonzero outside of
+    restart redo — which legitimately probes pages that were formatted but
+    never flushed — indicates broken page-allocation replay. *)
+
 val reset_stats : t -> unit
 
 val set_io_delay_ns : t -> int -> unit

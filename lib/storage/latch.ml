@@ -28,6 +28,8 @@ let held () = Domain.DLS.get held_key
 
 let held_by_self () = !(held ())
 
+let reset_held () = held () := 0
+
 let create () =
   {
     mutex = Mutex.create ();

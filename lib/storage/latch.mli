@@ -46,4 +46,13 @@ val with_latch : t -> mode -> (unit -> 'a) -> 'a
 val held_by_self : unit -> int
 (** Number of latches currently held by the calling domain (debug/stats). *)
 
+val reset_held : unit -> unit
+(** Crash simulation: zero the calling domain's held-latch count. A real
+    power loss takes the executing threads with it; a simulated one
+    unwinds them with an exception, and ops interrupted mid-latch leave
+    this domain-local counter nonzero even though the latches themselves
+    are volatile and discarded. [Gist_fault] calls this when it
+    materializes a crash so post-restart [latches_held_across_io]
+    accounting starts honest. *)
+
 val pp_mode : Format.formatter -> mode -> unit

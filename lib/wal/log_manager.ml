@@ -12,6 +12,10 @@ let h_append_ns =
   Metrics.histogram ~unit_:"ns" ~help:"serialize + LSN-assign + buffer latency of one append"
     "wal.append_ns"
 
+let m_torn_tail =
+  Metrics.counter ~unit_:"ops"
+    ~help:"partially-written log tails detected and discarded at restart" "wal.torn_tail"
+
 (* Records are serialized outside the mutex (the expensive part); the
    critical section is only the LSN assignment and the push. The first 8
    bytes of each image are the LSN, patched in under the mutex. [last] is
@@ -26,6 +30,11 @@ type t = {
   mutable anchor : Lsn.t;
   forces : int Atomic.t;
   bytes_written : int Atomic.t;
+  mutable append_hook : (unit -> unit) option;
+      (* fault injection: runs at append entry, before any state changes *)
+  mutable torn_tail : Bytes.t option;
+      (* a partially persisted record beyond [durable] left by a ragged
+         crash; occupies no LSN slot and must be discarded at restart *)
 }
 
 let create () =
@@ -38,9 +47,16 @@ let create () =
     anchor = Lsn.nil;
     forces = Atomic.make 0;
     bytes_written = Atomic.make 0;
+    append_hook = None;
+    torn_tail = None;
   }
 
+let set_append_hook t hook = t.append_hook <- hook
+
 let append t ~txn ~prev ?(ext = "") payload =
+  (match t.append_hook with None -> () | Some hook -> hook ());
+  (* A successful append lands where the garbage tail sat: overwrite it. *)
+  if t.torn_tail != None then t.torn_tail <- None;
   let t0 = Clock.now_ns () in
   let b = Buffer.create 128 in
   (* Placeholder LSN; patched under the mutex once assigned. *)
@@ -132,6 +148,30 @@ let crash t =
   Atomic.set t.last (t.base + Dyn.length t.records);
   if Lsn.( < ) t.durable t.anchor then t.anchor <- Lsn.nil;
   Mutex.unlock t.mutex
+
+let crash_ragged ?(keep_bytes = 9) t =
+  Mutex.lock t.mutex;
+  let keep = Int64.to_int t.durable - t.base in
+  (* The device was mid-append when power died: the first record past the
+     durable watermark persisted only a prefix. Capture it before the
+     volatile tail is dropped. *)
+  if Dyn.length t.records > keep then begin
+    let img = Dyn.get t.records keep in
+    let n = min (max 1 keep_bytes) (Bytes.length img) in
+    t.torn_tail <- Some (Bytes.sub img 0 n)
+  end;
+  Mutex.unlock t.mutex;
+  crash t
+
+let has_torn_tail t = t.torn_tail <> None
+
+let discard_torn_tail t =
+  Mutex.lock t.mutex;
+  let found = t.torn_tail <> None in
+  t.torn_tail <- None;
+  Mutex.unlock t.mutex;
+  if found then Metrics.incr m_torn_tail;
+  found
 
 let truncate_before t lsn =
   Mutex.lock t.mutex;

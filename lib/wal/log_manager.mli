@@ -58,6 +58,23 @@ val crash : t -> unit
 (** Discard the volatile tail: records after [durable_lsn] are lost, the
     anchor keeps its last durable value. *)
 
+val crash_ragged : ?keep_bytes:int -> t -> unit
+(** Like {!crash}, but the device was mid-append when power died: the
+    first record past the durable watermark persists a [keep_bytes]-byte
+    garbage prefix (a {e torn tail}). The garbage occupies no LSN slot —
+    readers never see it — but restart must acknowledge and discard it via
+    {!discard_torn_tail}, and any later {!append} overwrites it. *)
+
+val has_torn_tail : t -> bool
+(** Whether a ragged crash left a partially written record after the
+    durable prefix. *)
+
+val discard_torn_tail : t -> bool
+(** Detect and drop the torn tail (restart's log-scan boundary check: a
+    record that fails its length/checksum validation ends the usable log).
+    Returns whether one was found; bumps the [wal.torn_tail] metric.
+    Called by [Recovery.restart_multi] before analysis. *)
+
 val truncate_before : t -> Lsn.t -> int
 (** Reclaim records with LSN below the given point — clamped so nothing at
     or after the checkpoint anchor, or not yet durable, is ever discarded
@@ -81,3 +98,12 @@ val bytes_written : t -> int
 
 val reset_stats : t -> unit
 (** Zero the per-log counters (not the global metrics registry). *)
+
+(** {1 Fault injection} *)
+
+val set_append_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook run at every {!append} entry, before the
+    record touches any log state — so a raised exception (simulated power
+    loss, [Gist_fault.Crash]) means the append never happened and never
+    leaves the log, which survives the crash, in a locked or half-updated
+    state. One [None] branch per append when injection is off. *)

@@ -69,6 +69,7 @@ and payload =
     }
   | Format_node of { page : Page_id.t; level : int; bp : string }
   | Set_rightlink of { page : Page_id.t; new_rl : Page_id.t; old_rl : Page_id.t }
+  | Page_image of { page : Page_id.t; image : string }
 
 type t = { lsn : Lsn.t; txn : Txn_id.t; prev : Lsn.t; ext : string; payload : payload }
 
@@ -76,7 +77,7 @@ let is_redo_only = function
   | Parent_entry_update _ | Garbage_collection _ | Clr _ -> true
   | Begin | Commit | Abort | End | Checkpoint_begin | Checkpoint_end _ -> true
   | Remove_leaf_entry _ | Unmark_leaf_entry _ | Unsplit _ | Root_shrink _ -> true
-  | Format_node _ -> true
+  | Format_node _ | Page_image _ -> true
   | Set_rightlink _ -> false
   | Split _ | Root_grow _ | Internal_entry_add _ | Internal_entry_update _
   | Internal_entry_delete _ | Add_leaf_entry _ | Mark_leaf_entry _ | Get_page _
@@ -92,6 +93,7 @@ let rec pages_touched = function
   | Root_shrink { root; child; _ } -> [ root; child ]
   | Format_node { page; _ } -> [ page ]
   | Set_rightlink { page; _ } -> [ page ]
+  | Page_image { page; _ } -> [ page ]
   | Parent_entry_update { parent; child; _ } -> [ parent; child ]
   | Split { orig; right; _ } -> [ orig; right ]
   | Root_grow { root; child; _ } -> [ root; child ]
@@ -131,6 +133,7 @@ let tag_of = function
   | Root_shrink _ -> 22
   | Format_node _ -> 23
   | Set_rightlink _ -> 24
+  | Page_image _ -> 25
 
 let encode_status b = function
   | Active -> Codec.put_u8 b 0
@@ -240,6 +243,9 @@ and encode_payload b p =
     Page_id.encode b page;
     Page_id.encode b new_rl;
     Page_id.encode b old_rl
+  | Page_image { page; image } ->
+    Page_id.encode b page;
+    Codec.put_string b image
 
 let rec decode_action r =
   match Codec.get_u8 r with
@@ -363,6 +369,10 @@ and decode_payload r =
     let new_rl = Page_id.decode r in
     let old_rl = Page_id.decode r in
     Set_rightlink { page; new_rl; old_rl }
+  | 25 ->
+    let page = Page_id.decode r in
+    let image = Codec.get_string r in
+    Page_image { page; image }
   | n -> raise (Codec.Corrupt (Printf.sprintf "bad log record tag %d" n))
 
 let encode b t =
@@ -410,6 +420,7 @@ let payload_name = function
   | Root_shrink _ -> "root-shrink"
   | Format_node _ -> "format-node"
   | Set_rightlink _ -> "set-rightlink"
+  | Page_image _ -> "page-image"
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>%a %a prev=%a %s" Lsn.pp t.lsn Txn_id.pp t.txn Lsn.pp t.prev

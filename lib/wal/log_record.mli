@@ -118,6 +118,13 @@ and payload =
       old_rl : Gist_storage.Page_id.t;
     }  (** Stitches a left sibling's rightlink past a deleted node (§7.2);
           written inside the node-deletion NTA. *)
+  | Page_image of { page : Gist_storage.Page_id.t; image : string }
+      (** Full page image (Postgres-style full-page write), logged by the
+          buffer pool when a page first becomes dirty and
+          [Db.config.full_page_writes] is on. Redo-only and
+          extension-independent: restart installs the image verbatim
+          (page-LSN conditional) — the repair source for pages a torn
+          write destroyed. Never part of a transaction backchain. *)
 
 type t = {
   lsn : Lsn.t;

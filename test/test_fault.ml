@@ -1,0 +1,165 @@
+(* Fault-injection subsystem: injector unit tests (each action at the
+   storage/WAL layer), and the seeded crash-fuzz sweep — the executable
+   evidence for claims C4/C5. The sweep's point budget is tuned with the
+   FUZZ_POINTS environment variable (default 200; CI raises it). *)
+
+module Fault = Gist_fault.Fault
+module Crash_fuzz = Gist_fault.Crash_fuzz
+module Disk = Gist_storage.Disk
+module Page_id = Gist_storage.Page_id
+module Log_manager = Gist_wal.Log_manager
+module Log_record = Gist_wal.Log_record
+module Txn_id = Gist_util.Txn_id
+
+let pid = Page_id.of_int
+
+let page_size = 256
+
+let fresh () = (Disk.create ~page_size (), Log_manager.create ())
+
+let img c = Bytes.make page_size c
+
+(* --- injector unit tests -------------------------------------------- *)
+
+let test_crash_after_nth_write () =
+  let disk, log = fresh () in
+  let ctl = Fault.arm ~disk ~log (Fault.crash_after Fault.Disk_write 3) in
+  Disk.write disk (pid 0) (img 'a');
+  Disk.write disk (pid 1) (img 'b');
+  Alcotest.check_raises "third write crashes" Fault.Crash (fun () ->
+      Disk.write disk (pid 2) (img 'c'));
+  (* Power died before the third write touched the platter. *)
+  Alcotest.(check int) "only two pages exist" 2 (Disk.page_count disk);
+  Alcotest.(check (list (pair string int))) "the point fired" [ ("disk.write", 3) ]
+    (Fault.fired ctl);
+  Fault.disarm ctl;
+  Disk.write disk (pid 2) (img 'c');
+  Alcotest.(check int) "disarmed disk works" 3 (Disk.page_count disk)
+
+let test_crash_after_nth_append () =
+  let disk, log = fresh () in
+  let ctl = Fault.arm ~disk ~log (Fault.crash_after Fault.Wal_append 2) in
+  ignore (Log_manager.append log ~txn:Txn_id.none ~prev:0L Log_record.Begin);
+  Alcotest.check_raises "second append crashes" Fault.Crash (fun () ->
+      ignore (Log_manager.append log ~txn:Txn_id.none ~prev:0L Log_record.Commit));
+  (* The interrupted append never consumed an LSN. *)
+  Alcotest.(check int64) "log still holds one record" 1L (Log_manager.last_lsn log);
+  Fault.disarm ctl
+
+let test_torn_write_detected () =
+  let disk, log = fresh () in
+  Disk.write disk (pid 0) (img 'o');
+  let ctl = Fault.arm ~disk ~log (Fault.torn_write_at 1 ~keep:16) in
+  Alcotest.check_raises "power dies after the torn write lands" Fault.Crash (fun () ->
+      Disk.write disk (pid 0) (img 'n'));
+  Fault.disarm ctl;
+  Alcotest.(check bool) "checksum flags the page" false (Disk.verify disk (pid 0));
+  let got = Disk.read disk (pid 0) in
+  Alcotest.(check char) "prefix is the new image" 'n' (Bytes.get got 0);
+  Alcotest.(check char) "tail is the old content" 'o' (Bytes.get got 16);
+  (* Overwriting with a full write heals the page. *)
+  Disk.write disk (pid 0) (img 'n');
+  Alcotest.(check bool) "full write heals" true (Disk.verify disk (pid 0))
+
+let test_ragged_tail_discarded () =
+  let disk, log = fresh () in
+  for _ = 1 to 5 do
+    ignore (Log_manager.append log ~txn:Txn_id.none ~prev:0L Log_record.Begin)
+  done;
+  Log_manager.force log 3L;
+  (* Events count from arming: the next append is event 1. *)
+  let ctl = Fault.arm ~disk ~log (Fault.ragged_append_at 1 ~keep:9) in
+  Alcotest.check_raises "mid-append power loss" Fault.Crash (fun () ->
+      ignore (Log_manager.append log ~txn:Txn_id.none ~prev:0L Log_record.Commit));
+  Fault.disarm ctl;
+  (* Materialize the ragged crash the way [materialize_crash] does. *)
+  Log_manager.crash_ragged ~keep_bytes:9 log;
+  Alcotest.(check int64) "durable prefix survives" 3L (Log_manager.last_lsn log);
+  Alcotest.(check bool) "a torn tail persisted" true (Log_manager.has_torn_tail log);
+  Alcotest.(check bool) "restart detects and discards it" true
+    (Log_manager.discard_torn_tail log);
+  Alcotest.(check bool) "second scan finds nothing" false (Log_manager.discard_torn_tail log);
+  (* Appends continue over the discarded garbage. *)
+  Alcotest.(check int64) "next append reuses the slot" 4L
+    (Log_manager.append log ~txn:Txn_id.none ~prev:0L Log_record.Begin)
+
+let test_io_error_transient () =
+  let disk, log = fresh () in
+  Disk.write disk (pid 0) (img 'a');
+  let ctl =
+    Fault.arm ~disk ~log [ { Fault.site = Fault.Disk_read; at = 2; act = Fault.Io_error_once } ]
+  in
+  ignore (Disk.read disk (pid 0));
+  Alcotest.check_raises "second read errors" Fault.Io_error (fun () ->
+      ignore (Disk.read disk (pid 0)));
+  (* Transient: the point is consumed, the device recovers. *)
+  Alcotest.(check char) "third read succeeds" 'a' (Bytes.get (Disk.read disk (pid 0)) 0);
+  Fault.disarm ctl
+
+let test_latency_spike () =
+  let disk, log = fresh () in
+  Disk.write disk (pid 0) (img 'a');
+  let ctl =
+    Fault.arm ~disk ~log
+      [ { Fault.site = Fault.Disk_read; at = 1; act = Fault.Delay_ns 2_000_000 } ]
+  in
+  let t0 = Gist_util.Clock.now_ns () in
+  ignore (Disk.read disk (pid 0));
+  let elapsed = Gist_util.Clock.now_ns () - t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "read stalled ~2ms (got %dns)" elapsed)
+    true (elapsed >= 1_000_000);
+  Fault.disarm ctl
+
+let test_unallocated_read_counted () =
+  let disk, _ = fresh () in
+  Disk.write disk (pid 3) (img 'a');
+  let before = Disk.reads_unallocated disk in
+  ignore (Disk.read disk (pid 1));
+  (* id below page_count but never written *)
+  ignore (Disk.read disk (pid 9));
+  (* id beyond page_count *)
+  Alcotest.(check int) "both unallocated reads counted" (before + 2)
+    (Disk.reads_unallocated disk);
+  ignore (Disk.read disk (pid 3));
+  Alcotest.(check int) "allocated read not counted" (before + 2)
+    (Disk.reads_unallocated disk)
+
+(* --- the crash-fuzz sweep ------------------------------------------- *)
+
+let fuzz_points () =
+  match Sys.getenv_opt "FUZZ_POINTS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+  | None -> 200
+
+let test_crash_fuzz_sweep () =
+  let points = fuzz_points () in
+  let summaries = Crash_fuzz.run_sweep ~seed:20260806 ~points in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun v -> Alcotest.failf "oracle violation: %s" v)
+        s.Crash_fuzz.violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mode fired at least one crash"
+           (Crash_fuzz.mode_name s.Crash_fuzz.mode))
+        true
+        (s.Crash_fuzz.crashes > 0))
+    summaries;
+  let total = List.fold_left (fun acc s -> acc + s.Crash_fuzz.points) 0 summaries in
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep covered >= %d points (got %d)" points total)
+    true (total >= points)
+
+let suite =
+  [
+    Alcotest.test_case "crash after nth disk write" `Quick test_crash_after_nth_write;
+    Alcotest.test_case "crash after nth WAL append" `Quick test_crash_after_nth_append;
+    Alcotest.test_case "torn write detected by checksum" `Quick test_torn_write_detected;
+    Alcotest.test_case "ragged WAL tail discarded at restart" `Quick
+      test_ragged_tail_discarded;
+    Alcotest.test_case "transient I/O error" `Quick test_io_error_transient;
+    Alcotest.test_case "latency spike" `Quick test_latency_spike;
+    Alcotest.test_case "unallocated reads counted" `Quick test_unallocated_read_counted;
+    Alcotest.test_case "crash-fuzz sweep (FUZZ_POINTS)" `Quick test_crash_fuzz_sweep;
+  ]

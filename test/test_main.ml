@@ -23,5 +23,6 @@ let () =
       ("multitree", Test_multitree.suite);
       ("edge", Test_edge.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
       ("props", Test_props.suite);
     ]

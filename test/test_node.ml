@@ -15,7 +15,7 @@ let le k ?(deleter = Txn_id.none) rid_slot =
 
 let with_frame f =
   let disk = Disk.create ~page_size:1024 () in
-  let pool = Buffer_pool.create ~capacity:4 ~disk ~force_log:(fun _ -> ()) in
+  let pool = Buffer_pool.create ~capacity:4 ~disk ~force_log:(fun _ -> ()) () in
   let frame = Buffer_pool.pin_new pool (Page_id.of_int 1) in
   let r = f frame in
   Buffer_pool.unpin pool frame;

@@ -285,6 +285,31 @@ let test_redo_idempotent () =
   Alcotest.(check (list int)) "fixpoint" keys1 (keys_of t2 db2);
   check_tree t2
 
+(* Satellite: recovery is idempotent. After a crash and one successful
+   restart, running restart again — with no crash in between — is a pure
+   no-op: the same tree comes back and the only new WAL records are the
+   second restart's own checkpoint pair. *)
+let test_restart_twice_noop () =
+  let db, t = make () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 40 do
+    Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  let loser = Txn.begin_txn db.Db.txns in
+  for i = 41 to 50 do
+    Gist.insert t loser ~key:(B.key i) ~rid:(rid i)
+  done;
+  Log.force_all db.Db.log;
+  let db', t' = crash_restart db t in
+  let keys1 = keys_of t' db' in
+  let before = Log.last_lsn db'.Db.log in
+  Recovery.restart db' B.ext;
+  Alcotest.(check int64) "second restart appends only its checkpoint pair" 2L
+    (Int64.sub (Log.last_lsn db'.Db.log) before);
+  Alcotest.(check (list int)) "contents unchanged by second restart" keys1 (keys_of t' db');
+  check_tree t'
+
 let suite =
   [
     Alcotest.test_case "committed survive crash (no flush)" `Quick test_committed_survive;
@@ -301,4 +326,5 @@ let suite =
     Alcotest.test_case "truncation blocked by active txn" `Quick
       test_truncation_blocked_by_active_txn;
     Alcotest.test_case "redo idempotent" `Quick test_redo_idempotent;
+    Alcotest.test_case "restart twice is a no-op" `Quick test_restart_twice_noop;
   ]

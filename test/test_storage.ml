@@ -98,7 +98,7 @@ let with_pool ?(capacity = 8) f =
   let disk = Disk.create ~page_size:256 () in
   let forced = ref [] in
   let pool =
-    Buffer_pool.create ~capacity ~disk ~force_log:(fun lsn -> forced := lsn :: !forced)
+    Buffer_pool.create ~capacity ~disk ~force_log:(fun lsn -> forced := lsn :: !forced) ()
   in
   f disk pool forced
 

@@ -78,6 +78,7 @@ let catalog : Log_record.payload list =
       { root = pid 1; child = pid 10; entries = [ "a" ]; restore_nsn = 2L; restore_level = 1 };
     Log_record.Format_node { page = pid 1; level = 0; bp = "empty" };
     Log_record.Set_rightlink { page = pid 2; new_rl = pid 9; old_rl = pid 3 };
+    Log_record.Page_image { page = pid 6; image = "full-page-image-bytes" };
   ]
 
 let test_catalog_roundtrip () =
@@ -116,7 +117,9 @@ let test_redo_only_classification () =
   Alcotest.(check bool) "add-leaf-entry is undoable" false
     (redo_only (Log_record.Add_leaf_entry { page = pid 1; nsn = 0L; entry = ""; rid = rid 1 }));
   Alcotest.(check bool) "get-page is undoable" false
-    (redo_only (Log_record.Get_page { page = pid 1 }))
+    (redo_only (Log_record.Get_page { page = pid 1 }));
+  Alcotest.(check bool) "page-image" true
+    (redo_only (Log_record.Page_image { page = pid 1; image = "x" }))
 
 let test_pages_touched () =
   Alcotest.(check (list int)) "split touches both" [ 3; 9 ]
@@ -215,6 +218,43 @@ let test_truncation () =
   Alcotest.(check int) "second truncate reclaims nothing" 0
     (Log_manager.truncate_before log 40L)
 
+(* Satellite property: whatever the caller asks, [truncate_before] never
+   discards a record at or after the checkpoint anchor, nor one past the
+   durability watermark — the two classes the next restart may need. *)
+let prop_truncate_respects_anchor =
+  QCheck.Test.make ~name:"wal: truncate_before never drops anchored or undurable records"
+    ~count:300
+    QCheck.(
+      quad (int_range 1 80) (int_range 0 100) (int_range 0 100) (int_range 0 120))
+    (fun (n, forced, anchor_req, trunc_req) ->
+      let log = Log_manager.create () in
+      let t = Txn_id.of_int 1 in
+      for _ = 1 to n do
+        ignore (Log_manager.append log ~txn:t ~prev:0L Log_record.Begin)
+      done;
+      Log_manager.force log (Int64.of_int (min forced n));
+      let durable = Int64.to_int (Log_manager.durable_lsn log) in
+      Log_manager.set_anchor log (Int64.of_int (min anchor_req n));
+      let anchor = Int64.to_int (Log_manager.anchor log) in
+      let reclaimed = Log_manager.truncate_before log (Int64.of_int trunc_req) in
+      (* The effective boundary the implementation must respect. *)
+      let boundary = min trunc_req (min anchor durable) in
+      let expected = max 0 (boundary - 1) in
+      let kept_ok = ref true in
+      for lsn = max 1 boundary to n do
+        match Log_manager.read log (Int64.of_int lsn) with
+        | Some r when r.Log_record.lsn = Int64.of_int lsn -> ()
+        | _ -> kept_ok := false
+      done;
+      let dropped_ok = ref true in
+      for lsn = 1 to expected do
+        if Log_manager.read log (Int64.of_int lsn) <> None then dropped_ok := false
+      done;
+      let next = Log_manager.append log ~txn:t ~prev:0L Log_record.Commit in
+      reclaimed = expected && !kept_ok && !dropped_ok
+      && Int64.to_int next = n + 1
+      && Int64.to_int (Log_manager.anchor log) = anchor)
+
 let test_concurrent_appends () =
   let log = Log_manager.create () in
   let domains =
@@ -239,5 +279,6 @@ let suite =
     Alcotest.test_case "durability and crash" `Quick test_log_durability_and_crash;
     Alcotest.test_case "iteration and anchor" `Quick test_log_iteration_and_anchor;
     Alcotest.test_case "truncation" `Quick test_truncation;
+    QCheck_alcotest.to_alcotest prop_truncate_respects_anchor;
     Alcotest.test_case "concurrent appends" `Quick test_concurrent_appends;
   ]
