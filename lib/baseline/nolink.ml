@@ -15,7 +15,7 @@ let search_generic ~links t query =
     let pid, memo = List.hd !stack in
     stack := List.tl !stack;
     Buffer_pool.with_page db.Db.pool pid Latch.S (fun frame ->
-        match Node.read ext frame with
+        match Node.get ext frame with
         | exception Codec.Corrupt _ -> () (* page was retired underneath us *)
         | node ->
           if

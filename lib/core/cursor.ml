@@ -85,7 +85,7 @@ let advance c =
     c.stack <- rest;
     let fresh = ref [] in
     Buffer_pool.with_page (db c).Db.pool pid Latch.S (fun frame ->
-        match Node.read (ext c) frame with
+        match Node.get (ext c) frame with
         | exception Codec.Corrupt _ -> () (* retired page; nothing here *)
         | node ->
           if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
@@ -159,7 +159,7 @@ let revalidate c pending =
     else
       match
         Buffer_pool.with_page (db c).Db.pool pid Latch.S (fun frame ->
-            match Node.read (ext c) frame with
+            match Node.get (ext c) frame with
             | exception Codec.Corrupt _ -> `Gone
             | node ->
               if not (Node.is_leaf node) then

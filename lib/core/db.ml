@@ -19,6 +19,7 @@ type config = {
   memo_source : memo_source;
   gc_on_write : bool;
   full_page_writes : bool;
+  node_cache : bool;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     memo_source = Memo_parent_lsn;
     gc_on_write = true;
     full_page_writes = false;
+    node_cache = true;
   }
 
 type t = {
@@ -57,7 +59,8 @@ let attach ~config ~disk ~log =
             (Log_record.Page_image { page = pid; image = Bytes.to_string image }))
   in
   let pool =
-    Buffer_pool.create ?log_page_image ~capacity:config.pool_capacity ~disk
+    Buffer_pool.create ?log_page_image ~node_cache:config.node_cache
+      ~capacity:config.pool_capacity ~disk
       ~force_log:(fun lsn -> Log_manager.force log lsn)
       ()
   in

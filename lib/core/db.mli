@@ -41,6 +41,11 @@ type config = {
           the ability to repair pages destroyed by torn disk writes
           (detected by the disk's page checksums) — required for the
           torn-write fault-injection modes of [Gist_fault]. *)
+  node_cache : bool;
+      (** Keep the decoded [Node.t] attached to its buffer-pool frame,
+          stamped with the page LSN it reflects, so repeat visits skip the
+          page-image decode ([Node.get]). On by default; turn off to
+          measure the decode cost it saves (experiment E13). *)
 }
 
 val default_config : config

@@ -176,12 +176,16 @@ let note_rightlink t ~from_pid ~memo node =
 (* ------------------------------------------------------------------ *)
 
 let with_node t pid mode f =
-  Buffer_pool.with_page t.db.Db.pool pid mode (fun frame -> f frame (Node.read t.ext frame))
+  Buffer_pool.with_page t.db.Db.pool pid mode (fun frame -> f frame (Node.get t.ext frame))
 
-(* Write a node back under an X latch and stamp the page with [lsn]. *)
+(* Write a node back under an X latch and stamp the page with [lsn]. The
+   cache install comes after mark_dirty so the stamp matches the final
+   header LSN (a first-dirty full-page write restamps the header above
+   [lsn]). *)
 let write_node t frame node ~lsn =
   Node.write t.ext node frame;
-  Buffer_pool.mark_dirty t.db.Db.pool frame ~lsn
+  Buffer_pool.mark_dirty t.db.Db.pool frame ~lsn;
+  Node.cache node frame
 
 let bp_string t p = Ext.encode_to_string t.ext p
 
@@ -213,13 +217,21 @@ let sig_lock t ctx pid =
   Lock_manager.lock t.db.Db.locks ctx.tid (Lock_manager.Node pid) Lock_manager.S;
   ctx.sig_locks <- pid :: ctx.sig_locks
 
+(* Single pass: hash the (few) kept pids once instead of List.exists per
+   held lock, which made release O(held × kept) on scan-heavy ops. The
+   filter both unlocks and rebuilds the kept list; duplicates in
+   [sig_locks] are preserved (each holds its own lock count). *)
 let release_sig_locks t ctx ~keep =
-  List.iter
-    (fun pid ->
-      if not (List.exists (Page_id.equal pid) keep) then
-        Lock_manager.unlock t.db.Db.locks ctx.tid (Lock_manager.Node pid))
-    ctx.sig_locks;
-  ctx.sig_locks <- List.filter (fun pid -> List.exists (Page_id.equal pid) keep) ctx.sig_locks
+  let keep_tbl = Hashtbl.create 8 in
+  List.iter (fun pid -> Hashtbl.replace keep_tbl (Page_id.to_int pid) ()) keep;
+  ctx.sig_locks <-
+    List.filter
+      (fun pid ->
+        Hashtbl.mem keep_tbl (Page_id.to_int pid)
+        ||
+        (Lock_manager.unlock t.db.Db.locks ctx.tid (Lock_manager.Node pid);
+         false))
+      ctx.sig_locks
 
 let with_ctx txn ~keep_on_success t f =
   let ctx = { tid = Txn_manager.id txn; sig_locks = [] } in
@@ -277,6 +289,7 @@ let create db ext_ ?(unique = false) ~empty_bp () =
   let node = Node.make_leaf ~id:root ~bp:empty_bp in
   Node.write ext_ node frame;
   Buffer_pool.mark_dirty db.Db.pool frame ~lsn:fmt_lsn;
+  Node.cache node frame;
   Latch.release (Buffer_pool.latch frame) Latch.X;
   Buffer_pool.unpin db.Db.pool frame;
   Txn_manager.end_nta db.Db.txns txn nta;
@@ -494,7 +507,7 @@ let rec split_node t txn ~parent_hint pid =
        child, then split that child with the root as parent. *)
     let grown =
       Buffer_pool.with_page t.db.Db.pool t.root Latch.X (fun root_frame ->
-          let root_node = Node.read t.ext root_frame in
+          let root_node = Node.get t.ext root_frame in
           if node_fits t root_node ~extra:0 then None
           else begin
             hook t "split:root-grow";
@@ -539,6 +552,7 @@ let rec split_node t txn ~parent_hint pid =
             in
             Node.write t.ext child_node child_frame;
             Buffer_pool.mark_dirty t.db.Db.pool child_frame ~lsn:grow_lsn;
+            Node.cache child_node child_frame;
             (* Root becomes internal with a single child entry. *)
             let new_root =
               Node.make_internal ~id:t.root ~level:(root_node.Node.level + 1)
@@ -568,7 +582,7 @@ let rec split_node t txn ~parent_hint pid =
     let outcome =
       with_parent_holding t parent_start pid (fun parent_frame parent_node ->
           Buffer_pool.with_page t.db.Db.pool pid Latch.X (fun child_frame ->
-              let node = Node.read t.ext child_frame in
+              let node = Node.get t.ext child_frame in
               if node_fits t node ~extra:0 then `No_split
               else begin
                 (* The parent must be able to take one more entry. *)
@@ -654,6 +668,7 @@ let rec split_node t txn ~parent_hint pid =
                   Latch.acquire (Buffer_pool.latch right_frame) Latch.X;
                   Node.write t.ext right_node right_frame;
                   Buffer_pool.mark_dirty t.db.Db.pool right_frame ~lsn:split_record_lsn;
+                  Node.cache right_node right_frame;
                   write_node t child_frame node ~lsn:split_record_lsn;
                   (* §7.2: extend deletion protection to the new sibling. *)
                   Lock_manager.copy_holders t.db.Db.locks ~src:(Lock_manager.Node pid)
@@ -731,7 +746,7 @@ let propagate_bp t txn ~stack ~leaf needed_bp =
   let txns = t.db.Db.txns in
   let expand_root_header needed =
     Buffer_pool.with_page t.db.Db.pool t.root Latch.X (fun frame ->
-        let node = Node.read t.ext frame in
+        let node = Node.get t.ext frame in
         let new_bp = t.ext.Ext.union [ node.Node.bp; needed ] in
         if not (bp_equal t new_bp node.Node.bp) then begin
           let lsn =
@@ -771,7 +786,7 @@ let propagate_bp t txn ~stack ~leaf needed_bp =
                 Atomic.incr t.counters.c_bp_updates;
                 Metrics.incr m_bp_updates;
                 Buffer_pool.with_page t.db.Db.pool child Latch.X (fun child_frame ->
-                    let child_node = Node.read t.ext child_frame in
+                    let child_node = Node.get t.ext child_frame in
                     let lsn =
                       Txn_manager.log_update txns txn ~ext:t.ext.Ext.name
                         (Log_record.Parent_entry_update
@@ -1033,7 +1048,7 @@ let insert_entry t txn ~key ~rid =
         let pid = !target in
         let action =
           Buffer_pool.with_page t.db.Db.pool pid Latch.X (fun frame ->
-              let node = Node.read t.ext frame in
+              let node = Node.get t.ext frame in
               if not (Node.is_leaf node) then
                 (* The root grew underneath us (fixed-root split): the page
                    we targeted is now internal — descend again. *)
@@ -1334,7 +1349,7 @@ let try_delete_node t txn ~parent ~victim =
       else begin
         let deleted =
           Buffer_pool.with_page t.db.Db.pool victim Latch.X (fun victim_frame ->
-              let node = Node.read t.ext victim_frame in
+              let node = Node.get t.ext victim_frame in
               if (not (Node.is_leaf node)) || Node.entry_count node > 0 then false
               else begin
                 hookf t "node-delete:%a" Page_id.pp victim;
@@ -1346,7 +1361,7 @@ let try_delete_node t txn ~parent ~victim =
                   | None -> true
                   | Some l ->
                     Buffer_pool.with_page t.db.Db.pool l Latch.X (fun left_frame ->
-                        match Node.read t.ext left_frame with
+                        match Node.get t.ext left_frame with
                         | exception Codec.Corrupt _ -> true (* left was retired itself *)
                         | left_node ->
                           if not (Page_id.equal left_node.Node.rightlink victim) then
@@ -1389,10 +1404,13 @@ let try_delete_node t txn ~parent ~victim =
                   let free_lsn =
                     Txn_manager.log_nta txns txn ~ext:t.ext.Ext.name (Log_record.Free_page { page = victim })
                   in
-                  (* Unformat the page: it is unreachable by construction. *)
+                  (* Unformat the page: it is unreachable by construction.
+                     The zero-fill bypasses node encoding, so drop the
+                     cached decode explicitly. *)
                   Bytes.fill (Buffer_pool.data victim_frame) 0
                     (Bytes.length (Buffer_pool.data victim_frame))
                     '\000';
+                  Buffer_pool.invalidate_cache victim_frame;
                   Buffer_pool.mark_dirty t.db.Db.pool victim_frame ~lsn:free_lsn;
                   Db.release_page t.db victim;
                   Txn_manager.end_nta txns txn nta;
@@ -1426,7 +1444,7 @@ let vacuum t =
   (* A leaf root is garbage-collected in place and never deleted. *)
   let root_is_leaf =
     Buffer_pool.with_page t.db.Db.pool t.root Latch.X (fun frame ->
-        let node = Node.read t.ext frame in
+        let node = Node.get t.ext frame in
         if Node.is_leaf node then begin
           ignore (gc_leaf t frame node);
           true
@@ -1438,7 +1456,7 @@ let vacuum t =
     (fun (parent, leaf) ->
       let empty =
         Buffer_pool.with_page t.db.Db.pool leaf Latch.X (fun frame ->
-            match Node.read t.ext frame with
+            match Node.get t.ext frame with
             | node ->
               ignore (gc_leaf t frame node);
               Node.entry_count node = 0
@@ -1475,6 +1493,7 @@ let bulk_load db ext_ ?(unique = false) ?(fill = 0.85) ~empty_bp entries =
     Latch.acquire (Buffer_pool.latch frame) Latch.X;
     Node.write ext_ node frame;
     Buffer_pool.mark_dirty db.Db.pool frame ~lsn;
+    Node.cache node frame;
     Latch.release (Buffer_pool.latch frame) Latch.X;
     Buffer_pool.unpin db.Db.pool frame
   in
@@ -1580,6 +1599,7 @@ let bulk_load db ext_ ?(unique = false) ?(fill = 0.85) ~empty_bp entries =
   Latch.acquire (Buffer_pool.latch frame) Latch.X;
   Node.write ext_ root_node frame;
   Buffer_pool.mark_dirty db.Db.pool frame ~lsn:fmt_lsn;
+  Node.cache root_node frame;
   Latch.release (Buffer_pool.latch frame) Latch.X;
   Buffer_pool.unpin db.Db.pool frame;
   (* Minimal logging: make every page durable before the NTA commits. *)

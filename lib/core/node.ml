@@ -3,6 +3,19 @@ module Page_id = Gist_storage.Page_id
 module Rid = Gist_storage.Rid
 module Lsn = Gist_wal.Lsn
 module Buffer_pool = Gist_storage.Buffer_pool
+module Metrics = Gist_obs.Metrics
+
+let m_cache_hits =
+  Metrics.counter ~unit_:"ops" ~help:"node reads served from the frame's decoded-node cache"
+    "bp.node_cache.hit"
+
+let m_cache_misses =
+  Metrics.counter ~unit_:"ops" ~help:"node reads that had to decode the page image"
+    "bp.node_cache.miss"
+
+let h_decode_ns =
+  Metrics.histogram ~unit_:"ns" ~help:"full page-image decode latency on a node-cache miss"
+    "bp.node_cache.decode_ns"
 
 type 'p leaf_entry = { le_key : 'p; le_rid : Rid.t; mutable le_deleter : Txn_id.t }
 
@@ -156,6 +169,40 @@ let read ext frame =
     end
   in
   { id = Buffer_pool.page_id frame; nsn; rightlink; level; bp; entries }
+
+(* Cached-read entry point. The cache holds the node by reference: a hit
+   hands back the same value that the last decoder (or writer, via
+   [cache]) installed, so all mutation must happen under the frame's X
+   latch and be followed by [write] + [cache] before the latch drops —
+   which is exactly the existing write_node discipline. Callers that walk
+   a node's entries outside the latch (tree_check) must keep using [read]
+   for a private copy. *)
+let get ext frame =
+  match Buffer_pool.cached_node frame with
+  | Some o ->
+    Metrics.incr m_cache_hits;
+    (Obj.obj o : _ t)
+  | None ->
+    Metrics.incr m_cache_misses;
+    let t0 = Clock.now_ns () in
+    let n = read ext frame in
+    Metrics.record h_decode_ns (Float.of_int (Clock.now_ns () - t0));
+    Buffer_pool.cache_node frame (Obj.repr n);
+    n
+
+let cache t frame = Buffer_pool.cache_node frame (Obj.repr t)
+
+let cache_at t frame ~lsn = Buffer_pool.cache_node_at frame (Obj.repr t) ~lsn
+
+let fingerprint ext t =
+  let b = Buffer.create 512 in
+  encode_body ext t b;
+  Buffer.contents b
+
+let cache_coherent ext frame =
+  match Buffer_pool.cached_node frame with
+  | None -> true
+  | Some o -> String.equal (fingerprint ext (Obj.obj o : _ t)) (fingerprint ext (read ext frame))
 
 let write ext t frame =
   let img = Buffer_pool.data frame in

@@ -49,12 +49,42 @@ val is_formatted : Gist_storage.Buffer_pool.frame -> bool
 
 val read : 'p Ext.t -> Gist_storage.Buffer_pool.frame -> 'p t
 (** Decode the node from the frame (caller holds at least the S latch).
+    Always parses the image afresh, yielding a private copy — use when the
+    result will be inspected after the latch drops (e.g. tree_check).
+    @raise Gist_util.Codec.Corrupt on an unformatted or damaged page. *)
+
+val get : 'p Ext.t -> Gist_storage.Buffer_pool.frame -> 'p t
+(** Like {!read}, but served from the frame's decoded-node cache when the
+    cached copy is still stamped with the current page LSN; on a miss,
+    decodes once and installs. The returned node is {e shared} with the
+    cache: mutate it only under the frame's X latch and re-encode with
+    {!write} (+ {!cache}) before releasing — the standard write_node
+    discipline. Counted in [bp.node_cache.hit]/[.miss];
+    [bp.node_cache.decode_ns] times the miss path.
     @raise Gist_util.Codec.Corrupt on an unformatted or damaged page. *)
 
 val write : 'p Ext.t -> 'p t -> Gist_storage.Buffer_pool.frame -> unit
 (** Encode into the frame (caller holds the X latch and will [mark_dirty]).
     @raise Failure if the node exceeds the page size — callers must check
     {!fits} before growing a node. *)
+
+val cache : 'p t -> Gist_storage.Buffer_pool.frame -> unit
+(** Install [t] as the frame's cached decode, stamped with the current
+    page-header LSN. Call {e after} [mark_dirty] so the stamp matches the
+    final header (full-page writes can restamp it above the record LSN). *)
+
+val cache_at : 'p t -> Gist_storage.Buffer_pool.frame -> lsn:int64 -> unit
+(** Install [t] stamped with [lsn] — for redo, which calls
+    [mark_dirty ~lsn] after the node write and leaves the header at
+    exactly [lsn] (FPW is masked during restart). *)
+
+val fingerprint : 'p Ext.t -> 'p t -> string
+(** The node's encoded body — equal iff the nodes are structurally equal
+    up to codec round-trip. Test hook for the cache-coherence property. *)
+
+val cache_coherent : 'p Ext.t -> Gist_storage.Buffer_pool.frame -> bool
+(** [true] iff the frame has no (valid) cached node, or its fingerprint
+    equals that of a fresh {!read} of the image. Test oracle. *)
 
 val body_size : 'p Ext.t -> 'p t -> int
 

@@ -29,16 +29,24 @@ let cond_page db page ~lsn f =
         Buffer_pool.mark_dirty db.Db.pool frame ~lsn
       end)
 
-let write_back _db ext node frame = Node.write ext node frame
+(* Redo writes install the rebuilt node as the frame's cached decode,
+   stamped with the record's LSN: [cond_page] runs [mark_dirty ~lsn] after
+   us and FPW is masked during restart, so the header ends at exactly
+   [lsn]. *)
+let write_back _db ext node frame ~lsn =
+  Node.write ext node frame;
+  Node.cache_at node frame ~lsn
 
 (* Install a logged full-page image verbatim (extension-independent). The
    image's own header carries the LSN of the record that first dirtied the
    page; [cond_page] stamps the installing record's (higher) LSN on top,
-   mirroring what the live page carried. *)
+   mirroring what the live page carried. The blit bypasses node encoding,
+   so any cached decode is stale — drop it. *)
 let redo_page_image db page image ~lsn =
   cond_page db page ~lsn (fun frame ->
       let dst = Buffer_pool.data frame in
-      Bytes.blit_string image 0 dst 0 (min (String.length image) (Bytes.length dst)))
+      Bytes.blit_string image 0 dst 0 (min (String.length image) (Bytes.length dst));
+      Buffer_pool.invalidate_cache frame)
 
 let add_decoded ext node s =
   match Node.decode_entry ext s with
@@ -65,38 +73,38 @@ let rec redo_payload_txn db ext ~txn ~lsn payload =
           if level = 0 then Node.make_leaf ~id:page ~bp
           else Node.make_internal ~id:page ~level ~bp
         in
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Parent_entry_update { parent; child; new_bp } ->
     let new_bp = Ext.decode_of_string ext new_bp in
     if Page_id.equal parent child then
       (* Degenerate form: expansion of a root leaf's header BP. *)
       cond_page db parent ~lsn (fun frame ->
-          let node = Node.read ext frame in
+          let node = Node.get ext frame in
           node.Node.bp <- new_bp;
-          write_back db ext node frame)
+          write_back db ext node frame ~lsn)
     else begin
       cond_page db parent ~lsn (fun frame ->
-          let node = Node.read ext frame in
+          let node = Node.get ext frame in
           (match Node.find_child node child with
           | Some ie -> ie.Node.ie_bp <- new_bp
           | None -> ());
           node.Node.bp <- ext.Ext.union [ node.Node.bp; new_bp ];
-          write_back db ext node frame);
+          write_back db ext node frame ~lsn);
       cond_page db child ~lsn (fun frame ->
-          let node = Node.read ext frame in
+          let node = Node.get ext frame in
           node.Node.bp <- new_bp;
-          write_back db ext node frame)
+          write_back db ext node frame ~lsn)
     end
   | Log_record.Split { orig; right; moved; orig_old_nsn; orig_new_nsn; orig_old_rightlink; level }
     ->
     let new_nsn = if Lsn.equal orig_new_nsn Lsn.nil then lsn else orig_new_nsn in
     cond_page db orig ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         List.iter (remove_decoded ext node) moved;
         node.Node.nsn <- new_nsn;
         node.Node.rightlink <- right;
         Node.recompute_bp ext node;
-        write_back db ext node frame);
+        write_back db ext node frame ~lsn);
     cond_page db right ~lsn (fun frame ->
         (* Rebuild the new sibling from the record alone (it may never have
            been flushed). *)
@@ -113,14 +121,14 @@ let rec redo_payload_txn db ext ~txn ~lsn payload =
         node.Node.nsn <- orig_old_nsn;
         node.Node.rightlink <- orig_old_rightlink;
         Node.recompute_bp ext node;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Root_grow { root; child; entries; root_old_nsn; old_level; root_bp } ->
     let root_bp = Ext.decode_of_string ext root_bp in
     cond_page db root ~lsn (fun frame ->
         let node = Node.make_internal ~id:root ~level:(old_level + 1) ~bp:root_bp in
         Node.add_internal_entry node { Node.ie_bp = root_bp; ie_child = child };
         node.Node.nsn <- root_old_nsn;
-        write_back db ext node frame);
+        write_back db ext node frame ~lsn);
     cond_page db child ~lsn (fun frame ->
         let node =
           if old_level = 0 then Node.make_leaf ~id:child ~bp:root_bp
@@ -128,10 +136,10 @@ let rec redo_payload_txn db ext ~txn ~lsn payload =
         in
         List.iter (add_decoded ext node) entries;
         node.Node.nsn <- root_old_nsn;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Root_shrink { root; entries; restore_nsn; restore_level; _ } ->
     cond_page db root ~lsn (fun frame ->
-        let old = Node.read ext frame in
+        let old = Node.get ext frame in
         let node =
           if restore_level = 0 then Node.make_leaf ~id:root ~bp:old.Node.bp
           else Node.make_internal ~id:root ~level:restore_level ~bp:old.Node.bp
@@ -139,77 +147,78 @@ let rec redo_payload_txn db ext ~txn ~lsn payload =
         List.iter (add_decoded ext node) entries;
         node.Node.nsn <- restore_nsn;
         Node.recompute_bp ext node;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Unsplit { orig; moved; restore_nsn; restore_rightlink; _ } ->
     cond_page db orig ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         List.iter (add_decoded ext node) moved;
         node.Node.nsn <- restore_nsn;
         node.Node.rightlink <- restore_rightlink;
         Node.recompute_bp ext node;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Garbage_collection { page; rids } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         List.iter (fun rid -> ignore (Node.remove_marked_by_rid node rid)) rids;
         Node.recompute_bp ext node;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Internal_entry_add { page; entry } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         add_decoded ext node entry;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Internal_entry_update { page; child; new_bp; _ } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         (match Node.find_child node child with
         | Some ie -> ie.Node.ie_bp <- Ext.decode_of_string ext new_bp
         | None -> ());
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Internal_entry_delete { page; entry } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         remove_decoded ext node entry;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Add_leaf_entry { page; entry; _ } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         (match Node.decode_entry ext entry with
         | `Leaf le ->
           Node.add_leaf_entry node le;
           node.Node.bp <- ext.Ext.union [ node.Node.bp; le.Node.le_key ]
         | `Internal _ -> ());
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Mark_leaf_entry { page; rid; _ } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         (match Node.find_live_by_rid node rid with
         | Some e -> e.Node.le_deleter <- txn
         | None -> ());
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Remove_leaf_entry { page; rid } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         if not (Node.remove_live_by_rid node rid) then
           ignore (Node.remove_leaf_by_rid node rid);
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Unmark_leaf_entry { page; rid } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         (match Node.find_marked_by node rid txn with
         | Some e -> e.Node.le_deleter <- Txn_id.none
         | None -> ());
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Set_rightlink { page; new_rl; _ } ->
     cond_page db page ~lsn (fun frame ->
-        let node = Node.read ext frame in
+        let node = Node.get ext frame in
         node.Node.rightlink <- new_rl;
-        write_back db ext node frame)
+        write_back db ext node frame ~lsn)
   | Log_record.Get_page { page } -> Db.mark_unavailable db page
   | Log_record.Free_page { page } ->
     Db.mark_available db page;
     cond_page db page ~lsn (fun frame ->
-        Bytes.fill (Buffer_pool.data frame) 0 (Bytes.length (Buffer_pool.data frame)) '\000')
+        Bytes.fill (Buffer_pool.data frame) 0 (Bytes.length (Buffer_pool.data frame)) '\000';
+        Buffer_pool.invalidate_cache frame)
   | Log_record.Page_image { page; image } -> redo_page_image db page image ~lsn
 
 let redo_payload db ext ~lsn payload = redo_payload_txn db ext ~txn:Txn_id.none ~lsn payload
@@ -230,10 +239,11 @@ let rec analysis_alloc db payload =
 
 let write_node db ext node frame ~lsn =
   Node.write ext node frame;
-  Buffer_pool.mark_dirty db.Db.pool frame ~lsn
+  Buffer_pool.mark_dirty db.Db.pool frame ~lsn;
+  Node.cache node frame
 
 let with_node db ext pid mode f =
-  Buffer_pool.with_page db.Db.pool pid mode (fun frame -> f frame (Node.read ext frame))
+  Buffer_pool.with_page db.Db.pool pid mode (fun frame -> f frame (Node.get ext frame))
 
 (* Relocate the leaf entry a logical undo must touch, starting from the
    page recorded in the log (§9.2). Splits moved entries *right* (follow
@@ -406,6 +416,10 @@ let restart_multi db packed_exts =
   (* A ragged crash may have left a partially written record beyond the
      durable prefix; restart's first act is to recognize and drop it. *)
   ignore (Log_manager.discard_torn_tail log : bool);
+  (* Restart on a warm pool (e.g. the idempotence re-run): redo and the
+     media check mutate raw page images, so no decoded node cached before
+     this point may survive into recovered state. *)
+  Buffer_pool.invalidate_caches db.Db.pool;
   (* Full-page-image logging is masked for the whole restart: an image
      logged mid-redo would stamp the page past records still to be
      replayed. Pages dirtied during restart are covered again as soon as

@@ -16,6 +16,11 @@ let m_latched_io =
     ~help:"disk I/Os issued while the calling domain held a latch (claim C1 invariant: 0)"
     "latches_held_across_io"
 
+let m_cache_invalidate =
+  Metrics.counter ~unit_:"ops"
+    ~help:"decoded-node cache entries dropped (frame recycle, reset, raw image mutation)"
+    "bp.node_cache.invalidate"
+
 type frame = {
   mutable pid : Page_id.t;
   mutable image : Bytes.t;
@@ -25,6 +30,14 @@ type frame = {
   mutable loading : bool;
   mutable last_used : int;
   frame_latch : Latch.t;
+  (* Decoded-node cache: the node last decoded from (or encoded into) this
+     frame's image, type-erased because the pool is predicate-type-agnostic.
+     Valid only while [cached_lsn] equals the page-header LSN: any logged
+     mutation stamps a fresh LSN via [mark_dirty], so a stale entry can
+     never be served. Read/written only under the frame latch. *)
+  mutable cached : Obj.t option;
+  mutable cached_lsn : int64;
+  cache_on : bool;
 }
 
 (* Sharded by page id: pin/unpin contend only within a shard. Each shard
@@ -34,6 +47,7 @@ type shard = {
   changed : Condition.t;
   table : (int, frame) Hashtbl.t;
   mutable frames : frame list;
+  mutable n_frames : int; (* = List.length frames, kept so fault-in is O(1) *)
   capacity : int;
 }
 
@@ -43,6 +57,7 @@ type t = {
   force_log : int64 -> unit;
   log_page_image : (Page_id.t -> Bytes.t -> int64) option;
   mutable fpw_on : bool; (* restart redo/undo masks full-page writes *)
+  node_cache : bool;
   tick : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -52,7 +67,7 @@ type t = {
 
 let n_shards = 16
 
-let create ?log_page_image ~capacity ~disk ~force_log () =
+let create ?log_page_image ?(node_cache = true) ~capacity ~disk ~force_log () =
   if capacity < 4 then invalid_arg "Buffer_pool.create: capacity < 4";
   let per_shard = max 2 (capacity / n_shards) in
   {
@@ -63,12 +78,14 @@ let create ?log_page_image ~capacity ~disk ~force_log () =
             changed = Condition.create ();
             table = Hashtbl.create (2 * per_shard);
             frames = [];
+            n_frames = 0;
             capacity = per_shard;
           });
     disk;
     force_log;
     log_page_image;
     fpw_on = true;
+    node_cache;
     tick = Atomic.make 0;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
@@ -89,6 +106,39 @@ let page_id f = f.pid
 let header_lsn image = Bytes.get_int64_le image 0
 
 let page_lsn f = header_lsn f.image
+
+(* Decoded-node cache. The stamp ties the cached value to one exact page
+   state: a hit requires [cached_lsn = header_lsn image]. Callers hold the
+   frame latch (S for reads, X for installs after a mutation). *)
+
+let cached_node f =
+  match f.cached with
+  | Some _ as v when Int64.equal f.cached_lsn (header_lsn f.image) -> v
+  | _ -> None
+
+let cache_node_at f o ~lsn =
+  if f.cache_on then begin
+    f.cached <- Some o;
+    f.cached_lsn <- lsn
+  end
+
+let cache_node f o = cache_node_at f o ~lsn:(header_lsn f.image)
+
+let invalidate_cache f =
+  match f.cached with
+  | None -> ()
+  | Some _ ->
+    f.cached <- None;
+    f.cached_lsn <- -1L;
+    Metrics.incr m_cache_invalidate
+
+let invalidate_caches t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mutex;
+      List.iter invalidate_cache s.frames;
+      Mutex.unlock s.mutex)
+    t.shards
 
 let touch t f = f.last_used <- Atomic.fetch_and_add t.tick 1
 
@@ -138,7 +188,7 @@ let rec pin_general t pid ~read_from_disk =
     Atomic.incr t.misses;
     Metrics.incr m_misses;
     if Trace.enabled () then Trace.emit (Trace.Bp_miss { page = Page_id.to_int pid });
-    if List.length s.frames < s.capacity then begin
+    if s.n_frames < s.capacity then begin
       let f =
         {
           pid;
@@ -149,11 +199,15 @@ let rec pin_general t pid ~read_from_disk =
           loading = true;
           last_used = 0;
           frame_latch = Latch.create ();
+          cached = None;
+          cached_lsn = -1L;
+          cache_on = t.node_cache;
         }
       in
       Latch.set_id f.frame_latch (Page_id.to_int pid);
       touch t f;
       s.frames <- f :: s.frames;
+      s.n_frames <- s.n_frames + 1;
       Hashtbl.replace s.table (Page_id.to_int pid) f;
       Mutex.unlock s.mutex;
       if read_from_disk then begin
@@ -202,6 +256,7 @@ let rec pin_general t pid ~read_from_disk =
         Latch.set_id victim.frame_latch (Page_id.to_int pid);
         victim.dirty <- false;
         victim.rec_lsn <- -1L;
+        invalidate_cache victim;
         victim.image <- Bytes.make (Disk.page_size t.disk) '\000';
         touch t victim;
         Hashtbl.replace s.table (Page_id.to_int pid) victim;
@@ -313,8 +368,10 @@ let drop_all t =
   Array.iter
     (fun s ->
       Mutex.lock s.mutex;
+      List.iter invalidate_cache s.frames;
       Hashtbl.reset s.table;
       s.frames <- [];
+      s.n_frames <- 0;
       Condition.broadcast s.changed;
       Mutex.unlock s.mutex)
     t.shards

@@ -26,6 +26,7 @@ type frame
 
 val create :
   ?log_page_image:(Page_id.t -> Bytes.t -> int64) ->
+  ?node_cache:bool ->
   capacity:int ->
   disk:Disk.t ->
   force_log:(int64 -> unit) ->
@@ -40,7 +41,12 @@ val create :
     page transitions clean→dirty (Postgres-style full-page writes, the
     repair source for torn disk writes) and stamps the page header with
     the returned LSN so the WAL rule forces the image durable before the
-    page can reach — and be torn on — the disk. *)
+    page can reach — and be torn on — the disk.
+
+    [node_cache] (default [true]) enables the per-frame decoded-node
+    cache ({!cached_node} and friends); when [false], installs are
+    no-ops and every lookup misses — the knob behind [Db.config.node_cache]
+    and experiment E13's on/off comparison. *)
 
 val disk : t -> Disk.t
 (** The underlying disk (for allocation bookkeeping and direct checks). *)
@@ -96,7 +102,44 @@ val dirty_page_table : t -> (Page_id.t * int64) list
     in checkpoints. [rec_lsn] is the LSN that first dirtied the page. *)
 
 val drop_all : t -> unit
-(** Crash simulation: discard every frame without flushing. *)
+(** Crash simulation: discard every frame (and its cached decoded node)
+    without flushing. *)
+
+(** {1 Decoded-node cache}
+
+    Each frame can hold one type-erased decoded node ([Obj.t], because
+    the pool cannot name the tree's predicate type) stamped with the page
+    LSN it reflects. A lookup only hits while the stamp still equals the
+    page-header LSN, so any logged mutation ({!mark_dirty} stamps a new
+    LSN) implicitly invalidates a cache the writer did not reinstall.
+    Mutators of the raw image that do {e not} go through node encoding
+    (redo image reinstall, page zero-fill) must call {!invalidate_cache}
+    explicitly. All four functions assume the frame latch is held (S
+    suffices for {!cached_node}; installs happen under X). *)
+
+val cached_node : frame -> Obj.t option
+(** The cached decoded node, or [None] if absent or stale (stamp differs
+    from the current page-header LSN). *)
+
+val cache_node : frame -> Obj.t -> unit
+(** Install a decoded node stamped with the {e current} page-header LSN.
+    Call after the image and header LSN are final (i.e. after
+    {!mark_dirty}). No-op when the pool was created with
+    [~node_cache:false]. *)
+
+val cache_node_at : frame -> Obj.t -> lsn:int64 -> unit
+(** Like {!cache_node} but stamps [lsn] instead of reading the header —
+    for redo, where [mark_dirty ~lsn] runs after the node write and the
+    header will end at exactly [lsn]. *)
+
+val invalidate_cache : frame -> unit
+(** Drop the frame's cached node (counted in [bp.node_cache.invalidate]).
+    Required after raw-image mutations that bypass node encoding. *)
+
+val invalidate_caches : t -> unit
+(** Drop every frame's cached node. Restart calls this first: redo
+    mutates raw images, and a pool surviving {!Recovery.restart_multi}
+    (warm restart) must not serve pre-crash decodes. *)
 
 (** {1 Statistics}
 

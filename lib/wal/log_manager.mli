@@ -29,7 +29,9 @@ val append :
     access-method extension the payload's opaque encodings belong to. *)
 
 val force : t -> Lsn.t -> unit
-(** Make every record up to and including [lsn] durable. *)
+(** Make every record up to and including [lsn] durable. Returns without
+    taking the mutex when [lsn] is already durable (counted in the
+    [wal.force_noop] metric, not in {!forces}). *)
 
 val force_all : t -> unit
 (** Make the whole log durable ({!force} up to {!last_lsn}). *)

@@ -23,6 +23,7 @@ let () =
       ("multitree", Test_multitree.suite);
       ("edge", Test_edge.suite);
       ("obs", Test_obs.suite);
+      ("node_cache", Test_node_cache.suite);
       ("fault", Test_fault.suite);
       ("props", Test_props.suite);
     ]

@@ -174,6 +174,27 @@ let test_log_durability_and_crash () =
   let l4 = Log_manager.append log ~txn:t ~prev:0L Log_record.Abort in
   Alcotest.(check int64) "lsn continues" 3L l4
 
+let test_force_fast_path () =
+  let log = Log_manager.create () in
+  let t = Txn_id.of_int 1 in
+  for _ = 1 to 5 do
+    ignore (Log_manager.append log ~txn:t ~prev:0L Log_record.Begin)
+  done;
+  let noops name = Gist_obs.Metrics.counter_value (Gist_obs.Metrics.snapshot ()) name in
+  let slow0 = Log_manager.forces log in
+  Log_manager.force log 4L;
+  Alcotest.(check int) "first force takes the slow path" (slow0 + 1) (Log_manager.forces log);
+  let n0 = noops "wal.force_noop" in
+  (* Redundant forces at or below the watermark skip the mutex. *)
+  Log_manager.force log 4L;
+  Log_manager.force log 2L;
+  Alcotest.(check int) "redundant forces are noops" (slow0 + 1) (Log_manager.forces log);
+  Alcotest.(check int) "wal.force_noop counts skips" (n0 + 2) (noops "wal.force_noop");
+  Alcotest.(check int64) "watermark unchanged" 4L (Log_manager.durable_lsn log);
+  (* A higher LSN still forces. *)
+  Log_manager.force log 5L;
+  Alcotest.(check int64) "higher LSN advances" 5L (Log_manager.durable_lsn log)
+
 let test_log_iteration_and_anchor () =
   let log = Log_manager.create () in
   let t = Txn_id.none in
@@ -277,6 +298,7 @@ let suite =
     Alcotest.test_case "pages touched" `Quick test_pages_touched;
     Alcotest.test_case "log manager basics" `Quick test_log_manager_basics;
     Alcotest.test_case "durability and crash" `Quick test_log_durability_and_crash;
+    Alcotest.test_case "force fast path (noop skip)" `Quick test_force_fast_path;
     Alcotest.test_case "iteration and anchor" `Quick test_log_iteration_and_anchor;
     Alcotest.test_case "truncation" `Quick test_truncation;
     QCheck_alcotest.to_alcotest prop_truncate_respects_anchor;
