@@ -190,6 +190,20 @@ let e6_log_append =
                rid = rid 1;
              })))
 
+(* E14: the sharded predicate-manager hot path — one register + attach +
+   remove cycle, i.e. the per-operation §10.3 bookkeeping that used to sit
+   behind one process-global mutex. *)
+let e14_pred_attach =
+  let module Pm = Gist_pred.Predicate_manager in
+  let pm = Pm.create () in
+  let i = ref 0 in
+  Test.make ~name:"e14/pred-register-attach-remove"
+    (Staged.stage @@ fun () ->
+     incr i;
+     let p = Pm.register pm ~owner:(Gist_util.Txn_id.of_int (!i land 1023)) ~kind:Pm.Scan () in
+     Pm.attach pm p (Gist_storage.Page_id.of_int (!i land 4095));
+     Pm.remove_pred pm p)
+
 (* E7: the price of not-yet-collected marks. Both scans return ZERO
    results; the marked one wades through ~400 physical marked entries to
    find that out, the other through an equally-empty but mark-free range.
@@ -366,6 +380,7 @@ let tests =
       e13_txn_search_cache_off;
       e13_insert_cache_on;
       e13_insert_cache_off;
+      e14_pred_attach;
       f5_node_codec;
     ]
 

@@ -42,6 +42,30 @@ module Btree = struct
       Delete (B.key k, rid_of_key ~worker k)
     end
 
+  (* Uniform cold-key writes. [mixed]'s inserts land on the worker's hot
+     tail leaf, so write transactions do almost no I/O once that leaf is
+     resident. Here a write transaction is a delete+reinsert pair at two
+     independent uniformly random keys: every write faults cold leaves and
+     dirties them, which is the I/O profile that separates a tree-global
+     latch (the whole tree stalls for the write's disk waits) from the
+     link protocol (other domains keep running). Deletes reuse the preload
+     rid namespace (worker 0) so they hit real entries; reinserts take a
+     fresh worker-namespaced rid above the preload slot range so a live
+     rid is never duplicated. *)
+  let scattered ~worker ~space ~read_pct ~scan_width rng =
+    if Xoshiro.int rng 100 < read_pct then begin
+      let lo = Xoshiro.int rng space in
+      [ Search (B.range lo (lo + scan_width)) ]
+    end
+    else begin
+      let k1 = Xoshiro.int rng space and k2 = Xoshiro.int rng space in
+      let seq = Atomic.fetch_and_add counters.(worker land 63) 1 in
+      [
+        Delete (B.key k1, rid_of_key ~worker:0 k1);
+        Insert (B.key k2, Rid.make ~page:(100 + worker) ~slot:(space + seq));
+      ]
+    end
+
   let apply t txn = function
     | Search q -> ignore (Gist.search t txn q)
     | Insert (k, rid) -> Gist.insert t txn ~key:k ~rid

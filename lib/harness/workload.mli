@@ -32,6 +32,20 @@ module Btree : sig
       insert of a fresh worker-local key or a delete of a previously
       inserted one. *)
 
+  val scattered :
+    worker:int ->
+    space:int ->
+    read_pct:int ->
+    scan_width:int ->
+    Gist_util.Xoshiro.t ->
+    op list
+  (** One transaction's actions. Reads are uniform range scans as in
+      {!mixed}; a write is a delete+reinsert pair at two independent
+      uniform keys, so write transactions fault (and dirty) cold leaves
+      instead of appending to the worker's cached tail leaf. Used by the
+      domain-scaling experiment, where write-side I/O is what a
+      tree-global latch serializes. *)
+
   val apply :
     Gist_ams.Btree_ext.t Gist_core.Gist.t -> Gist_txn.Txn_manager.txn -> op -> unit
 end

@@ -9,6 +9,13 @@ let m_registers =
 
 let m_attaches = Metrics.counter ~unit_:"ops" ~help:"predicate-to-node attachments" "pred.attach"
 
+let m_shard_lock =
+  Metrics.counter ~unit_:"ops" ~help:"predicate-manager shard acquisitions" "pred.shard_lock"
+
+let m_shard_contention =
+  Metrics.counter ~unit_:"ops"
+    ~help:"predicate-manager shard acquisitions that found the shard held" "pred.shard_contention"
+
 type kind = Scan | Insert | Probe
 
 type 'p pred = {
@@ -16,47 +23,77 @@ type 'p pred = {
   p_owner : Txn_id.t;
   p_kind : kind;
   p_formula : 'p;
+  p_m : Mutex.t; (* guards [nodes] and [p_dead] *)
+  mutable p_dead : bool; (* removed; a racing replicate must not resurrect it *)
   nodes : (int, unit) Hashtbl.t; (* node attachments of this predicate *)
 }
 
-type 'p t = {
-  mutex : Mutex.t;
-  by_txn : (Txn_id.t, 'p pred list ref) Hashtbl.t;
+(* Same shard count the lock manager uses; both tables hash with a cheap
+   mask, so the id/page-id low bits spread the load. *)
+let n_shards = 64
+
+type 'p node_shard = {
+  nm : Mutex.t;
   by_node : (int, 'p pred Dyn.t) Hashtbl.t; (* FIFO attachment order *)
-  mutable next_id : int;
+}
+
+type 'p txn_shard = {
+  tm : Mutex.t;
+  by_txn : (Txn_id.t, 'p pred list ref) Hashtbl.t;
+}
+
+type 'p t = {
+  node_shards : 'p node_shard array;
+  txn_shards : 'p txn_shard array;
+  next_id : int Atomic.t;
 }
 
 let create () =
   {
-    mutex = Mutex.create ();
-    by_txn = Hashtbl.create 64;
-    by_node = Hashtbl.create 256;
-    next_id = 1;
+    node_shards =
+      Array.init n_shards (fun _ -> { nm = Mutex.create (); by_node = Hashtbl.create 8 });
+    txn_shards =
+      Array.init n_shards (fun _ -> { tm = Mutex.create (); by_txn = Hashtbl.create 8 });
+    next_id = Atomic.make 1;
   }
+
+let lock_shard m =
+  if Mutex.try_lock m then Metrics.incr m_shard_lock
+  else begin
+    Metrics.incr m_shard_contention;
+    Mutex.lock m;
+    Metrics.incr m_shard_lock
+  end
+
+let node_shard t pid = t.node_shards.(pid land (n_shards - 1))
+
+let txn_shard t tid = t.txn_shards.(Txn_id.to_int tid land (n_shards - 1))
 
 let register t ~owner ~kind formula =
   Metrics.incr m_registers;
-  Mutex.lock t.mutex;
   let p =
     {
-      pred_id = t.next_id;
+      pred_id = Atomic.fetch_and_add t.next_id 1;
       p_owner = owner;
       p_kind = kind;
       p_formula = formula;
+      p_m = Mutex.create ();
+      p_dead = false;
       nodes = Hashtbl.create 8;
     }
   in
-  t.next_id <- t.next_id + 1;
+  let sh = txn_shard t owner in
+  lock_shard sh.tm;
   let lst =
-    match Hashtbl.find_opt t.by_txn owner with
+    match Hashtbl.find_opt sh.by_txn owner with
     | Some l -> l
     | None ->
       let l = ref [] in
-      Hashtbl.replace t.by_txn owner l;
+      Hashtbl.replace sh.by_txn owner l;
       l
   in
   lst := p :: !lst;
-  Mutex.unlock t.mutex;
+  Mutex.unlock sh.tm;
   p
 
 let owner p = p.p_owner
@@ -65,96 +102,145 @@ let formula p = p.p_formula
 
 let kind_of p = p.p_kind
 
-let node_list t pid =
-  match Hashtbl.find_opt t.by_node pid with
-  | Some d -> d
-  | None ->
-    let d = Dyn.create () in
-    Hashtbl.replace t.by_node pid d;
-    d
+(* Lock order: predicate mutex, then one node-shard mutex at a time.
+   Nothing ever takes a predicate mutex while holding a shard mutex, and
+   no path holds two shard mutexes at once, so the order is acyclic. *)
 
 let attach_locked t p pid =
   let pid = Page_id.to_int pid in
   if not (Hashtbl.mem p.nodes pid) then begin
     Hashtbl.replace p.nodes pid ();
-    Dyn.push (node_list t pid) p;
+    let sh = node_shard t pid in
+    lock_shard sh.nm;
+    let d =
+      match Hashtbl.find_opt sh.by_node pid with
+      | Some d -> d
+      | None ->
+        let d = Dyn.create () in
+        Hashtbl.replace sh.by_node pid d;
+        d
+    in
+    Dyn.push d p;
+    Mutex.unlock sh.nm;
     Metrics.incr m_attaches;
     if Trace.enabled () then Trace.emit (Trace.Pred_attach { page = pid; owner = p.p_owner })
   end
 
 let attach t p pid =
-  Mutex.lock t.mutex;
-  attach_locked t p pid;
-  Mutex.unlock t.mutex
+  Mutex.lock p.p_m;
+  if not p.p_dead then attach_locked t p pid;
+  Mutex.unlock p.p_m
 
 let attached t pid =
-  Mutex.lock t.mutex;
+  let pid = Page_id.to_int pid in
+  let sh = node_shard t pid in
+  lock_shard sh.nm;
   let r =
-    match Hashtbl.find_opt t.by_node (Page_id.to_int pid) with
+    match Hashtbl.find_opt sh.by_node pid with
     | Some d -> Dyn.to_list d
     | None -> []
   in
-  Mutex.unlock t.mutex;
-  r
+  Mutex.unlock sh.nm;
+  (* A predicate mid-removal may still sit in the list; its owner's locks
+     are already gone, so reporting it would only cause a spurious
+     conflict check. Filter it out. *)
+  List.filter (fun p -> not p.p_dead) r
 
-let is_attached t p pid =
-  Mutex.lock t.mutex;
+let is_attached _t p pid =
+  Mutex.lock p.p_m;
   let r = Hashtbl.mem p.nodes (Page_id.to_int pid) in
-  Mutex.unlock t.mutex;
+  Mutex.unlock p.p_m;
   r
 
+(* Caller holds [p.p_m]. *)
 let detach_everywhere t p =
   Hashtbl.iter
     (fun pid () ->
-      match Hashtbl.find_opt t.by_node pid with
+      let sh = node_shard t pid in
+      lock_shard sh.nm;
+      (match Hashtbl.find_opt sh.by_node pid with
       | Some d ->
         Dyn.filter_in_place (fun q -> q.pred_id <> p.pred_id) d;
-        if Dyn.is_empty d then Hashtbl.remove t.by_node pid
-      | None -> ())
+        if Dyn.is_empty d then Hashtbl.remove sh.by_node pid
+      | None -> ());
+      Mutex.unlock sh.nm)
     p.nodes;
   Hashtbl.reset p.nodes
 
+let kill t p =
+  Mutex.lock p.p_m;
+  if not p.p_dead then begin
+    p.p_dead <- true;
+    detach_everywhere t p
+  end;
+  Mutex.unlock p.p_m
+
 let remove_pred t p =
-  Mutex.lock t.mutex;
-  detach_everywhere t p;
-  (match Hashtbl.find_opt t.by_txn p.p_owner with
-  | Some lst -> lst := List.filter (fun q -> q.pred_id <> p.pred_id) !lst
+  kill t p;
+  let sh = txn_shard t p.p_owner in
+  lock_shard sh.tm;
+  (match Hashtbl.find_opt sh.by_txn p.p_owner with
+  | Some lst ->
+    lst := List.filter (fun q -> q.pred_id <> p.pred_id) !lst;
+    if !lst = [] then Hashtbl.remove sh.by_txn p.p_owner
   | None -> ());
-  Mutex.unlock t.mutex
+  Mutex.unlock sh.tm
 
 let remove_txn t owner =
-  Mutex.lock t.mutex;
-  (match Hashtbl.find_opt t.by_txn owner with
-  | Some lst ->
-    List.iter (detach_everywhere t) !lst;
-    Hashtbl.remove t.by_txn owner
-  | None -> ());
-  Mutex.unlock t.mutex
+  let sh = txn_shard t owner in
+  lock_shard sh.tm;
+  let preds =
+    match Hashtbl.find_opt sh.by_txn owner with
+    | Some lst ->
+      Hashtbl.remove sh.by_txn owner;
+      !lst
+    | None -> []
+  in
+  Mutex.unlock sh.tm;
+  List.iter (kill t) preds
 
 let replicate t ~src ~dst ~keep =
-  Mutex.lock t.mutex;
-  (match Hashtbl.find_opt t.by_node (Page_id.to_int src) with
-  | Some d ->
-    (* Iterate over a snapshot: attach_locked mutates the dst list, and
-       src = dst must not loop. *)
-    List.iter (fun p -> if keep p then attach_locked t p dst) (Dyn.to_list d)
-  | None -> ());
-  Mutex.unlock t.mutex
+  let spid = Page_id.to_int src in
+  let sh = node_shard t spid in
+  lock_shard sh.nm;
+  (* Snapshot: attaching mutates the dst list, and src = dst must not
+     loop (also keeps the shard mutex out of the predicate-mutex order). *)
+  let snapshot =
+    match Hashtbl.find_opt sh.by_node spid with Some d -> Dyn.to_list d | None -> []
+  in
+  Mutex.unlock sh.nm;
+  List.iter
+    (fun p ->
+      if keep p then begin
+        Mutex.lock p.p_m;
+        (* A dead predicate's owner already released its locks; attaching
+           it here would leak the entry forever. *)
+        if not p.p_dead then attach_locked t p dst;
+        Mutex.unlock p.p_m
+      end)
+    snapshot
 
 let predicates_of t owner =
-  Mutex.lock t.mutex;
-  let r = match Hashtbl.find_opt t.by_txn owner with Some l -> !l | None -> [] in
-  Mutex.unlock t.mutex;
-  r
+  let sh = txn_shard t owner in
+  lock_shard sh.tm;
+  let r = match Hashtbl.find_opt sh.by_txn owner with Some l -> !l | None -> [] in
+  Mutex.unlock sh.tm;
+  List.filter (fun p -> not p.p_dead) r
 
 let total_attachments t =
-  Mutex.lock t.mutex;
-  let n = Hashtbl.fold (fun _ d acc -> acc + Dyn.length d) t.by_node 0 in
-  Mutex.unlock t.mutex;
-  n
+  Array.fold_left
+    (fun acc sh ->
+      lock_shard sh.nm;
+      let n = Hashtbl.fold (fun _ d acc -> acc + Dyn.length d) sh.by_node acc in
+      Mutex.unlock sh.nm;
+      n)
+    0 t.node_shards
 
 let total_predicates t =
-  Mutex.lock t.mutex;
-  let n = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.by_txn 0 in
-  Mutex.unlock t.mutex;
-  n
+  Array.fold_left
+    (fun acc sh ->
+      lock_shard sh.tm;
+      let n = Hashtbl.fold (fun _ l acc -> acc + List.length !l) sh.by_txn acc in
+      Mutex.unlock sh.tm;
+      n)
+    0 t.txn_shards

@@ -14,8 +14,14 @@
     "on a predicate" is also the caller's job, via an S lock on the owner's
     transaction id in the lock manager.
 
-    Thread-safe. Callers attach/check while holding the node's latch, which
-    serializes attachment order with respect to node content changes. *)
+    Thread-safe and sharded: the per-node index is split into 64 shards by
+    page id and the per-transaction index into 64 shards by transaction id
+    (the same layout as the lock manager and buffer pool), with a small
+    per-predicate mutex guarding each predicate's attachment set — no
+    process-global mutex sits on the search/insert hot path. Shard traffic
+    is exported as [pred.shard_lock] / [pred.shard_contention]. Callers
+    attach/check while holding the node's latch, which serializes
+    attachment order with respect to node content changes. *)
 
 type kind =
   | Scan  (** A search operation's predicate, protects its whole range. *)
@@ -28,7 +34,7 @@ type 'p pred
 
 type 'p t
 (** The manager's three §10.3 indexes (by transaction, by node, and the
-    per-predicate attachment set), behind one mutex. *)
+    per-predicate attachment set), sharded by transaction and page id. *)
 
 val create : unit -> 'p t
 (** An empty manager (one per database, shared by all trees). *)

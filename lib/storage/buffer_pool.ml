@@ -21,6 +21,13 @@ let m_cache_invalidate =
     ~help:"decoded-node cache entries dropped (frame recycle, reset, raw image mutation)"
     "bp.node_cache.invalidate"
 
+let m_overflow =
+  Metrics.counter ~unit_:"ops"
+    ~help:
+      "frames allocated beyond capacity because a latched page allocation found only dirty \
+       victims (evicting one would break the C1 no-I/O-under-latch invariant)"
+    "bp.overflow_frame"
+
 type frame = {
   mutable pid : Page_id.t;
   mutable image : Bytes.t;
@@ -155,6 +162,19 @@ let find_victim s =
     s.frames;
   !best
 
+(* Like [find_victim] but only clean frames: recycling one needs no
+   write-back, so a caller holding latches can evict it without I/O. *)
+let find_clean_victim s =
+  let best = ref None in
+  List.iter
+    (fun f ->
+      if f.pin_count = 0 && (not f.loading) && not f.dirty then
+        match !best with
+        | Some b when b.last_used <= f.last_used -> ()
+        | _ -> best := Some f)
+    s.frames;
+  !best
+
 let note_io t =
   if Latch.held_by_self () > 0 then begin
     Atomic.incr t.io_latched;
@@ -168,8 +188,75 @@ let write_back t pid image =
   t.force_log (header_lsn image);
   Disk.write t.disk pid image
 
+(* Fill a brand-new frame for [pid] (shard mutex held on entry; released
+   around the disk read). May push the shard past capacity — the caller
+   decides that (overflow for latched allocations). *)
+let fault_in t s pid ~read_from_disk =
+  let f =
+    {
+      pid;
+      image = Bytes.make (Disk.page_size t.disk) '\000';
+      dirty = false;
+      rec_lsn = -1L;
+      pin_count = 1;
+      loading = true;
+      last_used = 0;
+      frame_latch = Latch.create ();
+      cached = None;
+      cached_lsn = -1L;
+      cache_on = t.node_cache;
+    }
+  in
+  Latch.set_id f.frame_latch (Page_id.to_int pid);
+  touch t f;
+  s.frames <- f :: s.frames;
+  s.n_frames <- s.n_frames + 1;
+  Hashtbl.replace s.table (Page_id.to_int pid) f;
+  Mutex.unlock s.mutex;
+  if read_from_disk then begin
+    note_io t;
+    f.image <- Disk.read t.disk pid
+  end;
+  Mutex.lock s.mutex;
+  f.loading <- false;
+  Condition.broadcast s.changed;
+  Mutex.unlock s.mutex;
+  f
+
+(* Pay back one overflow frame: evict-and-drop an unpinned victim so the
+   shard shrinks toward capacity. Only called with no latches held, so the
+   write-back is a legal I/O. *)
+let shrink_overflow t s =
+  Mutex.lock s.mutex;
+  if s.n_frames <= s.capacity then Mutex.unlock s.mutex
+  else
+    match find_victim s with
+    | None -> Mutex.unlock s.mutex
+    | Some victim ->
+      Atomic.incr t.evictions;
+      Metrics.incr m_evictions;
+      if Trace.enabled () then
+        Trace.emit (Trace.Bp_evict { page = Page_id.to_int victim.pid; dirty = victim.dirty });
+      (* Same protocol as eviction phase 1: concurrent pins of this page
+         wait on [loading] until the write-back lands, then retry, find no
+         frame, and fault in from the now-current disk image. *)
+      victim.loading <- true;
+      victim.pin_count <- 1;
+      let vpid = victim.pid and dirty = victim.dirty and image = victim.image in
+      Mutex.unlock s.mutex;
+      if dirty then write_back t vpid image;
+      Mutex.lock s.mutex;
+      Hashtbl.remove s.table (Page_id.to_int vpid);
+      s.frames <- List.filter (fun f -> f != victim) s.frames;
+      s.n_frames <- s.n_frames - 1;
+      Condition.broadcast s.changed;
+      Mutex.unlock s.mutex
+
 let rec pin_general t pid ~read_from_disk =
   let s = shard t pid in
+  (* Unsynchronized peek: stale reads only delay or duplicate the shrink
+     attempt, and [shrink_overflow] rechecks under the mutex. *)
+  if s.n_frames > s.capacity && Latch.held_by_self () = 0 then shrink_overflow t s;
   Mutex.lock s.mutex;
   match Hashtbl.find_opt s.table (Page_id.to_int pid) with
   | Some f when f.loading ->
@@ -188,40 +275,30 @@ let rec pin_general t pid ~read_from_disk =
     Atomic.incr t.misses;
     Metrics.incr m_misses;
     if Trace.enabled () then Trace.emit (Trace.Bp_miss { page = Page_id.to_int pid });
-    if s.n_frames < s.capacity then begin
-      let f =
-        {
-          pid;
-          image = Bytes.make (Disk.page_size t.disk) '\000';
-          dirty = false;
-          rec_lsn = -1L;
-          pin_count = 1;
-          loading = true;
-          last_used = 0;
-          frame_latch = Latch.create ();
-          cached = None;
-          cached_lsn = -1L;
-          cache_on = t.node_cache;
-        }
-      in
-      Latch.set_id f.frame_latch (Page_id.to_int pid);
-      touch t f;
-      s.frames <- f :: s.frames;
-      s.n_frames <- s.n_frames + 1;
-      Hashtbl.replace s.table (Page_id.to_int pid) f;
-      Mutex.unlock s.mutex;
-      if read_from_disk then begin
-        note_io t;
-        f.image <- Disk.read t.disk pid
-      end;
-      Mutex.lock s.mutex;
-      f.loading <- false;
-      Condition.broadcast s.changed;
-      Mutex.unlock s.mutex;
-      f
-    end
+    if s.n_frames < s.capacity then fault_in t s pid ~read_from_disk
     else begin
-      match find_victim s with
+      (* A latched caller allocating a fresh page (split/root-grow sibling)
+         must not evict a dirty victim: the write-back would be an I/O
+         under latch, exactly what claim C1 forbids. Prefer a clean victim
+         (recycling is I/O-free since there is nothing to read either);
+         failing that, overflow capacity — bounded at 2x, so a client that
+         never releases its latches (the coarse baseline) cannot balloon
+         the pool — and let a later unlatched pin shrink the shard back.
+         Past the bound, dirty eviction is the last resort and the I/O is
+         counted against the invariant, as it should be. *)
+      let latched_alloc = (not read_from_disk) && Latch.held_by_self () > 0 in
+      let overflow_ok = latched_alloc && s.n_frames < 2 * s.capacity in
+      let victim =
+        if latched_alloc then
+          match find_clean_victim s with
+          | Some _ as v -> v
+          | None -> if overflow_ok then None else find_victim s
+        else find_victim s
+      in
+      match victim with
+      | None when overflow_ok ->
+        Metrics.incr m_overflow;
+        fault_in t s pid ~read_from_disk
       | None ->
         Condition.wait s.changed s.mutex;
         Mutex.unlock s.mutex;

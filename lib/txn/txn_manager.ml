@@ -22,25 +22,35 @@ type txn = {
   mutable savepoints : (string * Lsn.t) list;
 }
 
+(* The live and committed tables are sharded by transaction id, the same
+   way the lock manager and buffer pool shard their tables — a global
+   transaction-table mutex would otherwise sit on every begin/commit. *)
+let n_shards = 64
+
+type 'a shard = { sm : Mutex.t; stbl : (Txn_id.t, 'a) Hashtbl.t }
+
 type t = {
   log : Log_manager.t;
   lock_mgr : Lock_manager.t;
-  mutex : Mutex.t;
-  table : (Txn_id.t, txn) Hashtbl.t;
-  committed : (Txn_id.t, unit) Hashtbl.t;
-  mutable next_id : int;
+  table : txn shard array;
+  committed : unit shard array;
+  next_id : int Atomic.t;
   mutable undo_handler : (txn -> Log_record.t -> unit) option;
   mutable end_hooks : (Txn_id.t -> unit) list;
 }
+
+let mk_shards () =
+  Array.init n_shards (fun _ -> { sm = Mutex.create (); stbl = Hashtbl.create 8 })
+
+let shard shards tid = shards.(Txn_id.to_int tid land (n_shards - 1))
 
 let create ~log ~locks =
   {
     log;
     lock_mgr = locks;
-    mutex = Mutex.create ();
-    table = Hashtbl.create 64;
-    committed = Hashtbl.create 256;
-    next_id = 1;
+    table = mk_shards ();
+    committed = mk_shards ();
+    next_id = Atomic.make 1;
     undo_handler = None;
     end_hooks = [];
   }
@@ -58,22 +68,21 @@ let id txn = txn.tid
 let last_lsn txn = txn.last
 
 let find t tid =
-  Mutex.lock t.mutex;
-  let r = Hashtbl.find_opt t.table tid in
-  Mutex.unlock t.mutex;
+  let sh = shard t.table tid in
+  Mutex.lock sh.sm;
+  let r = Hashtbl.find_opt sh.stbl tid in
+  Mutex.unlock sh.sm;
   r
 
 let begin_txn t =
   Metrics.incr m_begins;
-  Mutex.lock t.mutex;
-  let tid = Txn_id.of_int t.next_id in
-  t.next_id <- t.next_id + 1;
-  Mutex.unlock t.mutex;
+  let tid = Txn_id.of_int (Atomic.fetch_and_add t.next_id 1) in
   let lsn = Log_manager.append t.log ~txn:tid ~prev:Lsn.nil Log_record.Begin in
   let txn = { tid; last = lsn; begin_lsn = lsn; status = Log_record.Active; savepoints = [] } in
-  Mutex.lock t.mutex;
-  Hashtbl.replace t.table tid txn;
-  Mutex.unlock t.mutex;
+  let sh = shard t.table tid in
+  Mutex.lock sh.sm;
+  Hashtbl.replace sh.stbl tid txn;
+  Mutex.unlock sh.sm;
   Lock_manager.lock t.lock_mgr tid (Lock_manager.Txn tid) Lock_manager.X;
   txn
 
@@ -98,18 +107,20 @@ let end_nta t txn pre_nta_lsn =
 let run_end_hooks t tid = List.iter (fun f -> f tid) t.end_hooks
 
 let drop t txn =
-  Mutex.lock t.mutex;
-  Hashtbl.remove t.table txn.tid;
-  Mutex.unlock t.mutex
+  let sh = shard t.table txn.tid in
+  Mutex.lock sh.sm;
+  Hashtbl.remove sh.stbl txn.tid;
+  Mutex.unlock sh.sm
 
 let commit t txn =
   Metrics.incr m_commits;
   let commit_rec = log_update t txn Log_record.Commit in
   Log_manager.force t.log commit_rec;
   txn.status <- Log_record.Committed;
-  Mutex.lock t.mutex;
-  Hashtbl.replace t.committed txn.tid ();
-  Mutex.unlock t.mutex;
+  let sh = shard t.committed txn.tid in
+  Mutex.lock sh.sm;
+  Hashtbl.replace sh.stbl txn.tid ();
+  Mutex.unlock sh.sm;
   run_end_hooks t txn.tid;
   ignore (log_update t txn Log_record.End);
   drop t txn;
@@ -172,52 +183,70 @@ let rollback_to_savepoint t txn name =
   txn.savepoints <- trim txn.savepoints
 
 let is_committed t tid =
-  Mutex.lock t.mutex;
-  let r = Hashtbl.mem t.committed tid in
-  Mutex.unlock t.mutex;
+  let sh = shard t.committed tid in
+  Mutex.lock sh.sm;
+  let r = Hashtbl.mem sh.stbl tid in
+  Mutex.unlock sh.sm;
   r
 
 let is_active t tid =
-  Mutex.lock t.mutex;
-  let r = Hashtbl.mem t.table tid in
-  Mutex.unlock t.mutex;
+  let sh = shard t.table tid in
+  Mutex.lock sh.sm;
+  let r = Hashtbl.mem sh.stbl tid in
+  Mutex.unlock sh.sm;
   r
 
 let active_txns t =
-  Mutex.lock t.mutex;
-  let r = Hashtbl.fold (fun tid txn acc -> (tid, txn.status, txn.last) :: acc) t.table [] in
-  Mutex.unlock t.mutex;
-  r
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sm;
+      let acc =
+        Hashtbl.fold (fun tid txn acc -> (tid, txn.status, txn.last) :: acc) sh.stbl acc
+      in
+      Mutex.unlock sh.sm;
+      acc)
+    [] t.table
 
 let commit_lsn t =
-  Mutex.lock t.mutex;
-  let oldest =
-    Hashtbl.fold
-      (fun _ txn acc -> Lsn.min acc txn.begin_lsn)
-      t.table Int64.max_int
-  in
-  Mutex.unlock t.mutex;
-  if Int64.equal oldest Int64.max_int then
-    Int64.add (Log_manager.last_lsn t.log) 1L
-  else oldest
+  (* Snapshot the log position before scanning the shards: a transaction
+     that begins mid-scan (and is missed) appended its Begin record after
+     this read, so its begin_lsn is >= the snapshot — the fold-with-limit
+     stays a valid lower bound without a global table lock. *)
+  let limit = Int64.add (Log_manager.last_lsn t.log) 1L in
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sm;
+      let acc = Hashtbl.fold (fun _ txn acc -> Lsn.min acc txn.begin_lsn) sh.stbl acc in
+      Mutex.unlock sh.sm;
+      acc)
+    limit t.table
 
 let restore_txn t tid ~status ~last_lsn =
   let txn = { tid; last = last_lsn; begin_lsn = Lsn.nil; status; savepoints = [] } in
-  Mutex.lock t.mutex;
-  Hashtbl.replace t.table tid txn;
-  if Txn_id.to_int tid >= t.next_id then t.next_id <- Txn_id.to_int tid + 1;
-  Mutex.unlock t.mutex;
+  let sh = shard t.table tid in
+  Mutex.lock sh.sm;
+  Hashtbl.replace sh.stbl tid txn;
+  Mutex.unlock sh.sm;
+  (* CAS-max: ids issued after restart must clear every restored id. *)
+  let want = Txn_id.to_int tid + 1 in
+  let rec bump () =
+    let cur = Atomic.get t.next_id in
+    if cur < want && not (Atomic.compare_and_set t.next_id cur want) then bump ()
+  in
+  bump ();
   txn
 
 let mark_committed t tid =
-  Mutex.lock t.mutex;
-  Hashtbl.replace t.committed tid ();
-  Mutex.unlock t.mutex
+  let sh = shard t.committed tid in
+  Mutex.lock sh.sm;
+  Hashtbl.replace sh.stbl tid ();
+  Mutex.unlock sh.sm
 
 let forget_txn t tid =
-  Mutex.lock t.mutex;
-  Hashtbl.remove t.table tid;
-  Mutex.unlock t.mutex
+  let sh = shard t.table tid in
+  Mutex.lock sh.sm;
+  Hashtbl.remove sh.stbl tid;
+  Mutex.unlock sh.sm
 
 let finish_txn t txn =
   ignore (log_update t txn Log_record.End);

@@ -7,13 +7,20 @@
     "global counter" a traversal memorizes, and the LSN of a split's log
     record is the new NSN of the split node, recoverable for free.
 
-    Thread-safe. [last_lsn] takes the internal mutex, which is precisely
-    the synchronization bottleneck §10.1 warns about; experiment E8 measures
-    it against the parent-LSN memorization optimization. *)
+    Thread-safe, and lock-free on every hot path: [append] encodes into a
+    per-domain scratch buffer, reserves its LSN with one atomic
+    fetch-and-add, stores the image into the reserved slot of a chunked
+    slot store, and advances a contiguous {e publish watermark} — appends
+    from N domains never convoy on a mutex. [last_lsn], [durable_lsn],
+    [read] and [iter_from] are plain atomic reads over published slots
+    (§10.1's warning about a synchronized NSN counter no longer applies;
+    experiment E8 measures the alternatives, E14 the multi-domain
+    scaling). The internal mutex guards only structural cold paths (chunk
+    allocation, truncation, simulated crashes). *)
 
 type t
-(** A log manager: the record sequence, its durability watermark, and the
-    checkpoint anchor. *)
+(** A log manager: the record slots, the publish and durability
+    watermarks, and the checkpoint anchor. *)
 
 val create : unit -> t
 (** An empty log; the first append gets LSN 1. *)
@@ -25,28 +32,45 @@ val append :
   ?ext:string ->
   Log_record.payload ->
   Lsn.t
-(** Assign the next LSN, serialize, and buffer the record. [ext] names the
-    access-method extension the payload's opaque encodings belong to. *)
+(** Reserve the next LSN, serialize, and publish the record — no lock
+    taken (amortized; the first append into each 1024-record chunk
+    allocates it under the structural mutex). [ext] names the
+    access-method extension the payload's opaque encodings belong to.
+    On return the record's slot is filled; it becomes visible to readers
+    once the publish watermark crosses it, i.e. as soon as every earlier
+    reservation is also in place. *)
 
 val force : t -> Lsn.t -> unit
-(** Make every record up to and including [lsn] durable. Returns without
-    taking the mutex when [lsn] is already durable (counted in the
-    [wal.force_noop] metric, not in {!forces}). *)
+(** Make every record up to and including [lsn] durable. Lock-free: waits
+    (parked on a condition variable) for the publish watermark to cover
+    [lsn] if a neighboring append below it is still in flight, then
+    advances the durability watermark by CAS. Returns immediately when
+    [lsn] is already durable (counted in the [wal.force_noop] metric, not
+    in {!forces}). *)
 
 val force_all : t -> unit
-(** Make the whole log durable ({!force} up to {!last_lsn}). *)
+(** Make the whole log durable ({!force} up to the highest reserved LSN). *)
 
 val last_lsn : t -> Lsn.t
-(** LSN of the most recently appended record (the global NSN counter). *)
+(** LSN of the most recent {e published} record (the global NSN counter).
+    May momentarily trail a concurrent append that has not been published
+    yet — under-reporting only ever causes a conservative extra rightlink
+    check, never a missed split. *)
 
 val durable_lsn : t -> Lsn.t
-(** The durability watermark: every record at or below it survives a crash. *)
+(** The durability watermark: every record at or below it survives a
+    crash. A lock-free monotonic read, like {!force}'s fast path. *)
 
 val read : t -> Lsn.t -> Log_record.t option
-(** Decode the record at [lsn]; [None] if out of range. *)
+(** Decode the record at [lsn]; [None] if out of range (never appended,
+    crash-lost, or truncated away). If [lsn] is reserved by an in-flight
+    append, waits for publication — rollback must never mistake an
+    in-flight record for a crash-lost one. *)
 
 val iter_from : t -> Lsn.t -> (Log_record.t -> unit) -> unit
-(** Apply to every record with LSN >= the argument, in order. *)
+(** Apply to every published record with LSN >= the argument, in order.
+    Entirely lock-free: one watermark snapshot bounds the scan, so
+    restart replay over a long log takes zero lock round-trips. *)
 
 val set_anchor : t -> Lsn.t -> unit
 (** Persist the LSN of the most recent complete checkpoint (the "master
@@ -58,7 +82,8 @@ val anchor : t -> Lsn.t
 
 val crash : t -> unit
 (** Discard the volatile tail: records after [durable_lsn] are lost, the
-    anchor keeps its last durable value. *)
+    anchor keeps its last durable value. Assumes the workload domains are
+    gone (a simulated power loss is stop-the-world). *)
 
 val crash_ragged : ?keep_bytes:int -> t -> unit
 (** Like {!crash}, but the device was mid-append when power died: the
@@ -81,22 +106,29 @@ val truncate_before : t -> Lsn.t -> int
 (** Reclaim records with LSN below the given point — clamped so nothing at
     or after the checkpoint anchor, or not yet durable, is ever discarded
     (restart may need those). Returns how many records were reclaimed.
-    Safe after a checkpoint whose dirty pages have been flushed. *)
+    Safe after a checkpoint whose dirty pages have been flushed; runs
+    concurrently with lock-free appends (they only touch slots above the
+    durability watermark). *)
 
 (** {1 Statistics}
 
     Per-log counters, mirrored into the global metrics registry
-    ([wal.append], [wal.bytes], [wal.force], [wal.append_ns]) — see
-    OBSERVABILITY.md. *)
+    ([wal.append], [wal.append_bytes], [wal.force], [wal.append_ns],
+    [wal.append_retry]) — see OBSERVABILITY.md. *)
 
 val appended : t -> int
-(** Records appended since creation (or {!reset_stats}). *)
+(** Records published since creation (LSNs are dense, so this is also the
+    highest published LSN). *)
 
 val forces : t -> int
 (** {!force} / {!force_all} calls (whether or not the watermark moved). *)
 
 val bytes_written : t -> int
-(** Total encoded size of appended records. *)
+(** Total encoded size of appended records. Reported as the delta of the
+    process-wide [wal.append_bytes] counter against a baseline captured at
+    {!create} / {!reset_stats} — the byte count is recorded exactly once
+    per append, not kept in a per-log twin. With several logs appending
+    concurrently (tests), the figure aggregates all of them. *)
 
 val reset_stats : t -> unit
 (** Zero the per-log counters (not the global metrics registry). *)

@@ -26,4 +26,5 @@ let () =
       ("node_cache", Test_node_cache.suite);
       ("fault", Test_fault.suite);
       ("props", Test_props.suite);
+      ("scaling", Test_scaling.suite);
     ]
