@@ -4,12 +4,32 @@
 #
 # FUZZ_POINTS tunes the crash-fuzz sweep's point budget (default 200;
 # CI raises it — see .github/workflows/ci.yml).
+#
+# --force-restarts additionally runs the OLC forced-restart stress cases
+# (test/test_olc.ml reads OLC_FORCE_RESTARTS): a writer domain repeatedly
+# X-latches the root so optimistic visits must exercise the
+# restart/fallback machinery, not just the happy path.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 FUZZ_POINTS="${FUZZ_POINTS:-200}"
 export FUZZ_POINTS
+
+for arg in "$@"; do
+  case "$arg" in
+    --force-restarts)
+      OLC_FORCE_RESTARTS=1
+      export OLC_FORCE_RESTARTS
+      echo "(forced-restart OLC stress enabled)"
+      ;;
+    *)
+      echo "check.sh: unknown argument: $arg" >&2
+      echo "usage: ./bin/check.sh [--force-restarts]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== dune build @all =="
 dune build @all

@@ -1190,6 +1190,149 @@ let e14 ~duration_s ~domain_list =
      at 64 shards; link-protocol latches_held_across_io identically 0."
 
 (* ------------------------------------------------------------------ *)
+(* E15: read-mostly scaling with optimistic latch-free reads (OLC)     *)
+(* ------------------------------------------------------------------ *)
+
+let e15 ~duration_s ~domain_list =
+  Report.section "E15  OLC: read-mostly scaling, latch-free vs S-latched search";
+  (* The read-side claim needs the 16-domain point (E14 stops at 8):
+     extend the default sweep; an explicit --domains wins. *)
+  let domain_list = if domain_list = [ 1; 2; 4 ] then [ 1; 2; 4; 8; 16 ] else domain_list in
+  print_endline
+    "Same I/O-bound configuration as E14 (200 us simulated disk access,\n\
+     160-frame pool over a 20k-key tree), read-mostly mixes. Both variants\n\
+     run the full link protocol; the only difference is the search path's\n\
+     internal-node visits — latch-free under the frame version word (olc)\n\
+     versus per-node S latches (s-latch). Each olc cell reports the\n\
+     olc.read_attempt/restart/fallback deltas and both variants report\n\
+     latch.wait (the contention evidence): with OLC on, readers should not\n\
+     appear in latch queues at all on internal nodes. Raw curves land in\n\
+     BENCH_5.json.";
+  let io_delay_ns = 200_000 and pool_capacity = 160 in
+  let cell ~olc ~read_pct ~domains =
+    let config = { small_tree_config with Db.io_delay_ns; pool_capacity; olc } in
+    let db, t = make_btree ~config () in
+    Workload.Btree.preload db t ~n:20_000;
+    let body ~worker ~rng ~txn =
+      List.iter
+        (Workload.Btree.apply t txn)
+        (Workload.Btree.scattered ~worker ~space:20_000 ~read_pct ~scan_width:10 rng)
+    in
+    let snap0 = Metrics.snapshot () in
+    let stats =
+      Driver.run_txn_ops ~db ~domains ~duration_s ~seed:((domains * 17) + read_pct) body
+    in
+    let snap1 = Metrics.snapshot () in
+    check_tree_or_warn t "E15";
+    let d name = Metrics.counter_value snap1 name - Metrics.counter_value snap0 name in
+    (stats.Driver.throughput, d)
+  in
+  let mixes = [ ("read-only", 100); ("read-mostly", 95) ] in
+  let results =
+    List.map
+      (fun (label, read_pct) ->
+        Printf.printf "\n%s (%d%% reads, %d%% delete+reinsert pairs)\n" label read_pct
+          (100 - read_pct);
+        let rows =
+          List.map
+            (fun domains ->
+              let olc_tp, d_olc = cell ~olc:true ~read_pct ~domains in
+              let sl_tp, d_sl = cell ~olc:false ~read_pct ~domains in
+              (domains, olc_tp, sl_tp, d_olc, d_sl))
+            domain_list
+        in
+        let base = match rows with (_, tp, _, _, _) :: _ -> tp | [] -> 1.0 in
+        Report.table
+          ~header:[ "domains"; "olc ops/s"; "s-latch ops/s"; "olc/s-latch"; "olc vs 1-dom" ]
+          (List.map
+             (fun (domains, olc, sl, _, _) ->
+               [
+                 Report.i domains;
+                 Report.f0 olc;
+                 Report.f0 sl;
+                 Report.f2 (olc /. sl);
+                 Report.f2 (olc /. base);
+               ])
+             rows);
+        print_endline "olc-cell counter deltas (and s-latch latch.wait for contrast):";
+        Report.table
+          ~header:
+            [
+              "domains"; "read_attempt"; "restart"; "fallback"; "fallback %";
+              "latch.wait olc"; "latch.wait s-latch"; "held_across_io";
+            ]
+          (List.map
+             (fun (domains, _, _, d, dsl) ->
+               let attempts = d "olc.read_attempt" in
+               [
+                 Report.i domains;
+                 Report.i attempts;
+                 Report.i (d "olc.restart");
+                 Report.i (d "olc.fallback");
+                 Report.f2
+                   (100.0 *. float_of_int (d "olc.fallback") /. float_of_int (max 1 attempts));
+                 Report.i (d "latch.wait");
+                 Report.i (dsl "latch.wait");
+                 Report.i (d "latches_held_across_io");
+               ])
+             rows);
+        (label, read_pct, rows))
+      mixes
+  in
+  print_newline ();
+  List.iter
+    (fun (lbl, _, rows) ->
+      match (rows, List.rev rows) with
+      | (d0, tp0, _, _, _) :: _, (dn, tpn, sln, _, _) :: _ when d0 <> dn ->
+        Printf.printf "%s: olc %.0f ops/s at %d domains -> %.0f at %d (%.2fx); olc/s-latch at %d: %.2fx\n"
+          lbl tp0 d0 tpn dn (tpn /. tp0) dn (tpn /. sln)
+      | _ -> ())
+    results;
+  (* One machine-parseable line so BENCH_5.json regenerates from captured
+     output (same convention as E14/BENCH_4.json). *)
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"e15\": [";
+  List.iteri
+    (fun i (lbl, read_pct, rows) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"workload\": %S, \"read_pct\": %d, \"cells\": [" lbl read_pct;
+      List.iteri
+        (fun j (domains, olc, sl, d, dsl) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf
+            "{\"domains\": %d, \"olc_ops_s\": %.0f, \"slatch_ops_s\": %.0f, \
+             \"olc_read_attempt\": %d, \"olc_restart\": %d, \"olc_fallback\": %d, \
+             \"latch_wait_olc\": %d, \"latch_wait_slatch\": %d, \"held_across_io\": %d}"
+            domains olc sl (d "olc.read_attempt") (d "olc.restart") (d "olc.fallback")
+            (d "latch.wait") (dsl "latch.wait")
+            (d "latches_held_across_io"))
+        rows;
+      Buffer.add_string buf "]}")
+    results;
+  Buffer.add_string buf "]}";
+  print_endline (Buffer.contents buf);
+  print_endline
+    "Expected shape: read-mostly throughput scales with domains at least as\n\
+     well as E14's link baseline (the same I/O overlap) and pulls ahead of\n\
+     the s-latch variant as domains grow; olc.fallback well under 1% of\n\
+     read attempts; olc-cell latch.wait ~ 0 on the read side;\n\
+     latches_held_across_io identically 0.";
+  (* CI smoke floor: E15_FLOOR_OPS asserts the largest-domain olc cell of
+     the first mix (conservatively low; flags a collapsed read path). *)
+  match Sys.getenv_opt "E15_FLOOR_OPS" with
+  | None -> ()
+  | Some floor_s -> (
+    match (float_of_string_opt floor_s, results) with
+    | Some floor, (_, _, rows) :: _ when rows <> [] ->
+      let _, olc_tp, _, _, _ = List.nth rows (List.length rows - 1) in
+      if olc_tp >= floor then Printf.printf "E15 floor check: PASS (%.0f >= %.0f ops/s)\n" olc_tp floor
+      else begin
+        Printf.printf "E15 floor check: FAIL (%.0f < %.0f ops/s)\n" olc_tp floor;
+        exit 1
+      end
+    | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1210,6 +1353,7 @@ let run_experiment ~duration_s ~domain_list = function
   | "E12" | "e12" -> e12 ()
   | "E13" | "e13" -> e13 ~duration_s
   | "E14" | "e14" -> e14 ~duration_s ~domain_list
+  | "E15" | "e15" -> e15 ~duration_s ~domain_list
   | "F5" | "f5" -> f5 ()
   | "all" ->
     e1 ~duration_s;
@@ -1228,13 +1372,14 @@ let run_experiment ~duration_s ~domain_list = function
     e12 ();
     e13 ~duration_s;
     e14 ~duration_s ~domain_list;
+    e15 ~duration_s ~domain_list;
     f5 ()
-  | other -> Printf.eprintf "unknown experiment %S (try E1..E14, F5, all)\n" other
+  | other -> Printf.eprintf "unknown experiment %S (try E1..E15, F5, all)\n" other
 
 open Cmdliner
 
 let experiment =
-  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"E1..E14, F5 or all")
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"E1..E15, F5 or all")
 
 let duration =
   Arg.(

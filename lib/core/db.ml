@@ -20,6 +20,8 @@ type config = {
   gc_on_write : bool;
   full_page_writes : bool;
   node_cache : bool;
+  olc : bool;
+  olc_retries : int;
 }
 
 let default_config =
@@ -33,6 +35,8 @@ let default_config =
     gc_on_write = true;
     full_page_writes = false;
     node_cache = true;
+    olc = true;
+    olc_retries = 8;
   }
 
 type t = {

@@ -46,6 +46,17 @@ type config = {
           stamped with the page LSN it reflects, so repeat visits skip the
           page-image decode ([Node.get]). On by default; turn off to
           measure the decode cost it saves (experiment E13). *)
+  olc : bool;
+      (** Optimistic lock coupling on the search path: traverse internal
+          nodes latch-free under the frame latch's version word
+          ({!Gist_storage.Latch.optimistic}/[validate]) instead of taking
+          the S latch, restarting the visit on a version conflict. On by
+          default; leaf visits and all write-path traversals still latch.
+          See PROTOCOL.md §7 and experiment E15. *)
+  olc_retries : int;
+      (** Optimistic attempts per node visit before falling back to the S
+          latch (counted in [olc.fallback]). [0] disables optimism per
+          visit even when [olc = true] — every visit falls back. *)
 }
 
 val default_config : config

@@ -47,6 +47,20 @@ let m_pred_checks =
 let m_pred_conflicts =
   Metrics.counter ~unit_:"preds" ~help:"conflicting predicates found by checks" "pred.conflict"
 
+let m_olc_attempts =
+  Metrics.counter ~unit_:"ops" ~help:"optimistic latch-free node reads attempted (search path)"
+    "olc.read_attempt"
+
+let m_olc_restarts =
+  Metrics.counter ~unit_:"ops"
+    ~help:"optimistic reads discarded (version word busy or changed across the read)"
+    "olc.restart"
+
+let m_olc_fallbacks =
+  Metrics.counter ~unit_:"ops"
+    ~help:"node visits that exhausted the optimistic retry budget and took the S latch"
+    "olc.fallback"
+
 exception Duplicate_key
 
 exception Parent_needs_split
@@ -157,19 +171,18 @@ let hookf t fmt = if hook_on t then Format.kasprintf t.hook fmt else Format.ikfp
    NSN is newer than its memorized value and must evaluate the right
    sibling too. Bumps the per-tree counter and the global metric, and
    under tracing emits the NSN-mismatch + traversal pair. *)
-let note_rightlink t ~from_pid ~memo node =
+let note_rightlink_raw t ~from_pid ~memo ~nsn ~rightlink =
   Atomic.incr t.counters.c_rightlinks;
   Metrics.incr m_rightlinks;
   if Trace.enabled () then begin
-    Trace.emit
-      (Trace.Nsn_mismatch { page = Page_id.to_int from_pid; memo; nsn = node.Node.nsn });
+    Trace.emit (Trace.Nsn_mismatch { page = Page_id.to_int from_pid; memo; nsn });
     Trace.emit
       (Trace.Rightlink
-         {
-           from_page = Page_id.to_int from_pid;
-           to_page = Page_id.to_int node.Node.rightlink;
-         })
+         { from_page = Page_id.to_int from_pid; to_page = Page_id.to_int rightlink })
   end
+
+let note_rightlink t ~from_pid ~memo node =
+  note_rightlink_raw t ~from_pid ~memo ~nsn:node.Node.nsn ~rightlink:node.Node.rightlink
 
 (* ------------------------------------------------------------------ *)
 (* Node access helpers                                                 *)
@@ -299,12 +312,114 @@ let create db ext_ ?(unique = false) ~empty_bp () =
   t
 
 (* ------------------------------------------------------------------ *)
-(* Search (Figure 3)                                                   *)
+(* Optimistic traversal (PROTOCOL.md §7)                               *)
 (* ------------------------------------------------------------------ *)
 
-let search ?(isolation = `Repeatable_read) t txn query =
+(* One latch-free attempt at the internal-node step of a search visit:
+   everything the S-latch path reads out of the node — rightlink decision,
+   child memo, consistent children — computed from a raw [Node.peek],
+   with the signaling locks (§7.2) taken *inside* the version window so
+   that a successful validation proves they were placed while the node
+   state we acted on was current, exactly as if we had held the S latch.
+   Returns a commit thunk to run after validation: counter bumps, hooks
+   and stack pushes for state the attempt may yet discard. Sig locks
+   taken by a failed attempt are merely conservative — S-mode node locks
+   block nobody but a drain's conditional X, and the op releases them at
+   the end either way. *)
+let olc_read_step t ctx ~stack ~query frame pid memo =
+  let node = Node.peek t.ext frame in
+  if Node.is_leaf node then `Leaf
+  else begin
+    let rl =
+      if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin
+        sig_lock t ctx node.Node.rightlink;
+        Some (node.Node.rightlink, node.Node.nsn)
+      end
+      else None
+    in
+    let child_memo = memo_of t frame in
+    let children =
+      Dyn.fold
+        (fun acc e ->
+          if t.ext.Ext.consistent query e.Node.ie_bp then begin
+            sig_lock t ctx e.Node.ie_child;
+            e.Node.ie_child :: acc
+          end
+          else acc)
+        [] (Node.internal_entries node)
+    in
+    `Internal
+      (fun () ->
+        (match rl with
+        | Some (rightlink, nsn) ->
+          note_rightlink_raw t ~from_pid:pid ~memo ~nsn ~rightlink;
+          stack := (rightlink, memo) :: !stack;
+          hookf t "search:rightlink:%a" Page_id.pp rightlink
+        | None -> ());
+        (* [children] is accumulated in reverse entry order; pushing it
+           as-is leaves the stack popping children in entry order, matching
+           the S-latch path's last-pushed-first-popped layout closely
+           enough — search order is unspecified and results are a set. *)
+        List.iter (fun child -> stack := (child, child_memo) :: !stack) children)
+  end
+
+(* Visit one search-stack entry without latching, under the frame latch's
+   version word. [true] = internal node fully processed (children
+   sig-locked and pushed); [false] = take the S-latch path: the node is a
+   leaf (record try-locks and the §10.3 FIFO check need a stable entry
+   list), or the retry budget ran out ([olc.fallback]). A racing writer
+   can tear the raw decode mid-[peek]; any exception inside the window is
+   re-raised only if the window still validates (then it is a genuine
+   corruption an S-latched reader would also have hit). *)
+let olc_visit t ctx ~spred ~stack ~query pid memo =
+  let cfg = t.db.Db.config in
+  let pool = t.db.Db.pool in
+  let frame = Buffer_pool.pin pool pid in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin pool frame)
+    (fun () ->
+      (* Attach before any entry is examined (§4.3). Idempotent, so one
+         attach ahead of the retry loop covers every attempt — and it must
+         sit outside the window because attaching takes the predicate
+         manager's shard lock, which could stall the window arbitrarily. *)
+      (match spred with Some sp -> Pm.attach t.preds sp pid | None -> ());
+      let rec attempt n =
+        if n >= cfg.Db.olc_retries then begin
+          Metrics.incr m_olc_fallbacks;
+          if Trace.enabled () then
+            Trace.emit (Trace.Olc_fallback { page = Page_id.to_int pid });
+          false
+        end
+        else begin
+          Metrics.incr m_olc_attempts;
+          let restart () =
+            Metrics.incr m_olc_restarts;
+            if Trace.enabled () then
+              Trace.emit (Trace.Olc_restart { page = Page_id.to_int pid });
+            Domain.cpu_relax ();
+            attempt (n + 1)
+          in
+          match Buffer_pool.frame_version frame with
+          | None -> restart ()
+          | Some v0 -> (
+            match olc_read_step t ctx ~stack ~query frame pid memo with
+            | exception e ->
+              if Buffer_pool.validate_frame frame v0 then raise e else restart ()
+            | `Leaf -> false
+            | `Internal commit ->
+              if Buffer_pool.validate_frame frame v0 then begin
+                commit ();
+                true
+              end
+              else restart ())
+        end
+      in
+      attempt 0)
+
+let search ?(isolation = `Repeatable_read) ?olc t txn query =
   let tid = Txn_manager.id txn in
   let locks = t.db.Db.locks in
+  let use_olc = match olc with Some b -> b | None -> t.db.Db.config.Db.olc in
   let rr = isolation = `Repeatable_read in
   Atomic.incr t.counters.c_searches;
   Metrics.incr m_searches;
@@ -324,6 +439,8 @@ let search ?(isolation = `Repeatable_read) t txn query =
         let pid, memo = List.hd !stack in
         stack := List.tl !stack;
         hookf t "search:visit:%a" Page_id.pp pid;
+        let handled = use_olc && olc_visit t ctx ~spred ~stack ~query pid memo in
+        if not handled then
         with_node t pid Latch.S (fun frame node ->
             (* Detect splits missed since the pointer was memorized (§3). *)
             if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then begin

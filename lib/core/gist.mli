@@ -2,10 +2,13 @@
 
     Implements the paper's protocol stack end to end:
 
-    - {b Search} (Figure 3): stack-driven DFS with per-node S latches only,
-      split detection via NSN/rightlink, predicate attachment for
-      repeatable read, S record locks on qualifying entries, and
-      latch-release-then-block when a record lock would wait.
+    - {b Search} (Figure 3): stack-driven DFS with split detection via
+      NSN/rightlink, predicate attachment for repeatable read, S record
+      locks on qualifying entries, and latch-release-then-block when a
+      record lock would wait. Internal nodes are by default visited
+      {e latch-free} under the frame latch's version word (optimistic
+      lock coupling, PROTOCOL.md §7), falling back to the classic
+      per-node S latch on conflict; leaves always take the S latch.
     - {b Insert} (Figure 4): min-penalty descent without latch coupling,
       split compensation via rightlinks, recursive node splits and BP
       update propagation executed as nested top actions, the percolation
@@ -53,11 +56,19 @@ val predicate_manager : 'p t -> 'p Gist_pred.Predicate_manager.t
 
 val search :
   ?isolation:[ `Repeatable_read | `Read_committed ] ->
+  ?olc:bool ->
   'p t ->
   Gist_txn.Txn_manager.txn ->
   'p ->
   ('p * Gist_storage.Rid.t) list
 (** All live leaf entries whose key is consistent with the query.
+
+    [olc] overrides {!Db.config.olc} for this call (tests use it to
+    compare the optimistic and S-latched traversals on one tree): when
+    true, internal nodes are visited latch-free under the frame latch's
+    version word, restarting on conflict and falling back to the S latch
+    after [Db.config.olc_retries] attempts — see PROTOCOL.md §7. Leaf
+    visits always take the S latch. Results are identical either way.
 
     Under [`Repeatable_read] (the default, the paper's Degree 3): returned
     records stay S-locked and the search predicate stays attached to every

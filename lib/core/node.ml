@@ -190,6 +190,24 @@ let get ext frame =
     Buffer_pool.cache_node frame (Obj.repr n);
     n
 
+(* Optimistic (latch-free) read entry point: like [get] but never installs
+   into the frame cache — an install without the X latch would race a
+   writer's own install. Called with only a pin held, inside a version
+   window the caller validates afterwards; a racing writer may make the
+   decode see torn bytes and raise, which the caller must treat as a
+   failed validation. *)
+let peek ext frame =
+  match Buffer_pool.cached_node frame with
+  | Some o ->
+    Metrics.incr m_cache_hits;
+    (Obj.obj o : _ t)
+  | None ->
+    Metrics.incr m_cache_misses;
+    let t0 = Clock.now_ns () in
+    let n = read ext frame in
+    Metrics.record h_decode_ns (Float.of_int (Clock.now_ns () - t0));
+    n
+
 let cache t frame = Buffer_pool.cache_node frame (Obj.repr t)
 
 let cache_at t frame ~lsn = Buffer_pool.cache_node_at frame (Obj.repr t) ~lsn

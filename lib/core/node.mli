@@ -63,6 +63,16 @@ val get : 'p Ext.t -> Gist_storage.Buffer_pool.frame -> 'p t
     [bp.node_cache.decode_ns] times the miss path.
     @raise Gist_util.Codec.Corrupt on an unformatted or damaged page. *)
 
+val peek : 'p Ext.t -> Gist_storage.Buffer_pool.frame -> 'p t
+(** Optimistic variant of {!get} for latch-free readers: served from the
+    decoded-node cache on a valid stamp, otherwise a private {!read} that
+    is {e not} installed (an install without the X latch would race a
+    writer's own). Call with only a pin held, inside a
+    {!Gist_storage.Buffer_pool.frame_version} window; any exception (torn
+    image mid-write) or returned garbage is neutralized by the caller's
+    subsequent failed [validate_frame].
+    @raise Gist_util.Codec.Corrupt on an unformatted or damaged page. *)
+
 val write : 'p Ext.t -> 'p t -> Gist_storage.Buffer_pool.frame -> unit
 (** Encode into the frame (caller holds the X latch and will [mark_dirty]).
     @raise Failure if the node exceeds the page size — callers must check

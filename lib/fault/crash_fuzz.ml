@@ -36,6 +36,9 @@ let config mode =
     pool_capacity = 32;
     page_size = 1024;
     full_page_writes = (match mode with Torn | Double -> true | Clean | Ragged -> false);
+    (* Fuzz what ships: searches in the workload (and the post-restart
+       scans the checker runs) traverse internal nodes latch-free. *)
+    olc = true;
   }
 
 let rid i = Rid.make ~page:1000 ~slot:i

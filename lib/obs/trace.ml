@@ -21,6 +21,8 @@ type event =
   | Bp_hit of { page : int }
   | Bp_miss of { page : int }
   | Bp_evict of { page : int; dirty : bool }
+  | Olc_restart of { page : int }
+  | Olc_fallback of { page : int }
 
 type entry = { ts : int; domain : int; seq : int; event : event }
 
@@ -124,5 +126,7 @@ let pp_event ppf = function
   | Bp_miss { page } -> Format.fprintf ppf "bp.miss P%d" page
   | Bp_evict { page; dirty } ->
     Format.fprintf ppf "bp.evict P%d%s" page (if dirty then " dirty" else "")
+  | Olc_restart { page } -> Format.fprintf ppf "olc.restart P%d" page
+  | Olc_fallback { page } -> Format.fprintf ppf "olc.fallback P%d" page
 
 let pp_entry ppf e = Format.fprintf ppf "%d d%d %a" e.ts e.domain pp_event e.event

@@ -62,6 +62,12 @@ type event =
   | Bp_miss of { page : int }  (** Buffer-pool miss (disk read follows). *)
   | Bp_evict of { page : int; dirty : bool }
       (** A frame was evicted; [dirty] means a write-back was needed. *)
+  | Olc_restart of { page : int }
+      (** An optimistic latch-free node visit failed version validation
+          (or found the version word write-locked) and retried. *)
+  | Olc_fallback of { page : int }
+      (** An optimistic visit exhausted its retry budget and fell back to
+          the S-latch path. *)
 
 (** One recorded ring entry. *)
 type entry = {

@@ -106,6 +106,13 @@ let disk t = t.disk
 
 let latch f = f.frame_latch
 
+(* Optimistic readers snapshot/validate the frame latch's version word
+   while holding only a pin (which is what keeps the frame from being
+   recycled under them). *)
+let frame_version f = Latch.optimistic f.frame_latch
+
+let validate_frame f v = Latch.validate f.frame_latch v
+
 let data f = f.image
 
 let page_id f = f.pid

@@ -65,6 +65,20 @@ val unpin : t -> frame -> unit
 val latch : frame -> Latch.t
 (** The frame's reader–writer latch (acquired by callers, not by the pool). *)
 
+val frame_version : frame -> int option
+(** Snapshot of the frame latch's seqlock word for an optimistic
+    latch-free read ({!Latch.optimistic}): [Some v] if no writer currently
+    holds the X latch, [None] otherwise. A pin alone is enough to use it —
+    [pin] never latches, and a nonzero pin count already prevents the
+    frame from being evicted or rebound to another page, so the
+    pin-without-latch window is stable by construction. *)
+
+val validate_frame : frame -> int -> bool
+(** [validate_frame f v] is {!Latch.validate} on the frame latch: [true]
+    iff no X acquisition intervened since {!frame_version} returned
+    [Some v], i.e. everything read from the frame inside the window is
+    what an S-latched reader would have seen. *)
+
 val data : frame -> Bytes.t
 (** The in-pool page image. Mutate only while holding the X latch. *)
 

@@ -11,6 +11,10 @@ type t = {
   mutable writer : bool;
   mutable waiting_writers : int;
   mutable id : int; (* page id for observability; 0 when unknown *)
+  version : int Atomic.t;
+      (* Seqlock word for optimistic readers: even = no writer, odd =
+         write-locked. Bumped to odd before an X grant returns and back to
+         even on X release; S traffic never touches it. *)
 }
 
 let m_acquires = Metrics.counter ~unit_:"ops" ~help:"latch grants (S or X)" "latch.acquire"
@@ -39,6 +43,7 @@ let create () =
     writer = false;
     waiting_writers = 0;
     id = 0;
+    version = Atomic.make 0;
   }
 
 let set_id t id = t.id <- id
@@ -65,7 +70,8 @@ let acquire t mode =
       Condition.wait t.writable t.mutex
     done;
     t.waiting_writers <- t.waiting_writers - 1;
-    t.writer <- true);
+    t.writer <- true;
+    Atomic.incr t.version (* even -> odd: optimistic readers stand back *));
   Mutex.unlock t.mutex;
   Metrics.incr m_acquires;
   if contended then begin
@@ -88,6 +94,7 @@ let release t mode =
       if t.waiting_writers > 0 then Condition.signal t.writable
       else Condition.broadcast t.readable
   | X ->
+    Atomic.incr t.version (* odd -> even: publish the writes *);
     t.writer <- false;
     if t.waiting_writers > 0 then Condition.signal t.writable
     else Condition.broadcast t.readable);
@@ -108,6 +115,7 @@ let try_acquire t mode =
       if t.writer || t.readers > 0 then false
       else begin
         t.writer <- true;
+        Atomic.incr t.version;
         true
       end
   in
@@ -119,6 +127,14 @@ let try_acquire t mode =
     incr (held ())
   end;
   ok
+
+let version t = Atomic.get t.version
+
+let optimistic t =
+  let v = Atomic.get t.version in
+  if v land 1 = 0 then Some v else None
+
+let validate t v = Atomic.get t.version = v
 
 let with_latch t mode f =
   acquire t mode;

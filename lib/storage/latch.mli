@@ -9,6 +9,16 @@
     Writer-preferring: a pending X request blocks new S admissions, so
     splits are not starved by scan streams.
 
+    Each latch also carries a {e version word} (a seqlock) so readers can
+    skip latching entirely: even = no writer, odd = write-locked. Every X
+    acquisition bumps it to odd before the grant returns and back to even
+    on release; S traffic never touches it. An optimistic reader snapshots
+    an even version, reads the protected data raw, and {!validate}s that
+    the word is unchanged — success means no writer held (or entered) the
+    latch anywhere inside the read window, so the data read is the same an
+    S-latched reader would have seen. See PROTOCOL.md §7 for the traversal
+    protocol built on top.
+
     The module keeps a per-domain count of held latches so the buffer pool
     can verify (and the benchmarks can report) the paper's central claim
     that no latch is ever held across an I/O.
@@ -42,6 +52,39 @@ val try_acquire : t -> mode -> bool
 
 val with_latch : t -> mode -> (unit -> 'a) -> 'a
 (** Acquire, run, release (also on exception). *)
+
+(** {1 Optimistic (latch-free) reads}
+
+    The version-word lifecycle: starts at [0]; [acquire t X] (and a
+    successful [try_acquire t X]) bumps it to odd; [release t X] bumps it
+    back to even. A full optimistic read is therefore:
+
+    {[
+      match Latch.optimistic l with
+      | None -> (* writer active; retry or fall back to acquire *)
+      | Some v0 ->
+        (* ... read protected data, tolerating torn values ... *)
+        if Latch.validate l v0 then (* read is as-if S-latched *)
+        else (* conflict: discard and retry *)
+    ]}
+
+    Between [optimistic] and a successful [validate] no X grant began or
+    ended, hence no writer mutated the protected data during the window.
+    Reads inside the window must tolerate garbage (they race with nothing
+    on success, but the {e attempt} may race and observe torn state before
+    failing validation) — in OCaml that means they may see stale values or
+    raise, but never corrupt memory. *)
+
+val version : t -> int
+(** Current value of the version word (odd while an X holder is inside). *)
+
+val optimistic : t -> int option
+(** [Some v] with [v] even if no writer currently holds the latch — the
+    snapshot to later {!validate} — or [None] while the word is odd. *)
+
+val validate : t -> int -> bool
+(** [validate t v0] is [true] iff the version word still equals [v0]: no X
+    acquisition started or finished since the matching {!optimistic}. *)
 
 val held_by_self : unit -> int
 (** Number of latches currently held by the calling domain (debug/stats). *)

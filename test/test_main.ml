@@ -27,4 +27,5 @@ let () =
       ("fault", Test_fault.suite);
       ("props", Test_props.suite);
       ("scaling", Test_scaling.suite);
+      ("olc", Test_olc.suite);
     ]
