@@ -907,15 +907,28 @@ let e12 () =
     | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 200)
     | None -> 200
   in
-  print_endline
+  let commit_mode =
+    match Sys.getenv_opt "FUZZ_COMMIT_MODE" with
+    | Some v -> (
+      match Gist_wal.Group_commit.mode_of_string v with
+      | Some m -> m
+      | None -> failwith (Printf.sprintf "FUZZ_COMMIT_MODE=%s: want sync|group|async" v))
+    | None -> Gist_wal.Group_commit.Sync
+  in
+  Printf.printf
     "A seeded workload (two trees, mixed commits/aborts, checkpoints, vacuum,\n\
      log truncation) is profiled, then crashed at points spread across its\n\
-     disk-read/disk-write/WAL-append event stream — clean power loss, torn\n\
-     page writes, ragged WAL tails, and crashes during recovery itself. After\n\
-     each crash, restart must reproduce exactly the committed state.";
+     disk-read/disk-write/WAL-append/flush-request event stream — clean power\n\
+     loss, torn page writes, ragged WAL tails, and crashes during recovery\n\
+     itself. After each crash, restart must reproduce exactly the committed\n\
+     state (commit_mode=%s%s).\n"
+    (Gist_wal.Group_commit.mode_to_string commit_mode)
+    (match commit_mode with
+    | Gist_wal.Group_commit.Async -> "; async accepts any prefix of commit order"
+    | _ -> "");
   let snap0 = Metrics.snapshot () in
   let t0 = Clock.now_ns () in
-  let summaries = Fuzz.run_sweep ~seed:20260806 ~points in
+  let summaries = Fuzz.run_sweep ~commit_mode ~seed:20260806 ~points () in
   let sweep_ms = Clock.elapsed_s t0 *. 1000.0 in
   let snap1 = Metrics.snapshot () in
   let d name = Metrics.counter_value snap1 name - Metrics.counter_value snap0 name in
@@ -1333,6 +1346,184 @@ let e15 ~duration_s ~domain_list =
     | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* E16: group commit — commit throughput across durability modes       *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~duration_s ~domain_list =
+  Report.section "E16  Group commit: leader/follower flush batching, pipelined durability";
+  (* The commit-side claim needs the 8-domain point: extend the default
+     sweep; an explicit --domains wins. *)
+  let domain_list = if domain_list = [ 1; 2; 4 ] then [ 1; 2; 4; 8 ] else domain_list in
+  print_endline
+    "Commit-bound workload: one-update transactions against a preloaded tree\n\
+     with a 1 ms simulated log-device flush (a cloud-block-store fsync), so each\n\
+     commit's cost is its durability. sync pays one device flush per commit\n\
+     (the PR-5 status quo);\n\
+     group enqueues to the dedicated log-writer domain, which coalesces every\n\
+     request arriving during a flush window into one device write and wakes\n\
+     all covered waiters; async additionally returns before the flush —\n\
+     durability trails by one window (an async commit may roll back after a\n\
+     crash, atomically; PROTOCOL.md §8). Per cell: commit throughput, commit\n\
+     latency p50/p99, physical flushes, and the mean flush-window size.\n\
+     Raw curves land in BENCH_6.json.";
+  let wal_flush_delay_ns = 1_000_000 in
+  let mode_names = [ "sync"; "group"; "async" ] in
+  let cell ~mode ~domains =
+    let commit_mode =
+      match Gist_wal.Group_commit.mode_of_string mode with Some m -> m | None -> assert false
+    in
+    (* group_wait_us well under the device latency: a shrinking window
+       stalls briefly so it refills — without it every pipeline bubble
+       spends a full device slot on a fraction of the committers. *)
+    let config =
+      { small_tree_config with Db.commit_mode; wal_flush_delay_ns; group_wait_us = 300 }
+    in
+    let db, t = make_btree ~config () in
+    Workload.Btree.preload db t ~n:2_000;
+    let body ~worker ~rng ~txn =
+      Workload.Btree.apply t txn
+        (Workload.Btree.mixed ~worker ~space:2_000 ~read_pct:0 ~scan_width:1 ~theta:0.0 rng)
+    in
+    (* Histograms cannot be delta'd across snapshots — reset the registry
+       so the cell's p50/p99 reflect this cell alone. *)
+    Metrics.reset ();
+    let snap0 = Metrics.snapshot () in
+    let stats =
+      Driver.run_txn_ops ~db ~domains ~duration_s
+        ~seed:((domains * 13) + String.length mode)
+        body
+    in
+    let snap1 = Metrics.snapshot () in
+    Db.close db;
+    check_tree_or_warn t "E16";
+    let d name = Metrics.counter_value snap1 name - Metrics.counter_value snap0 name in
+    let pct p =
+      match Metrics.find snap1 "wal.commit_latency_ns" with
+      | Some (Metrics.Histogram h) -> Gist_util.Stats.Histogram.percentile h p
+      | _ -> 0.0
+    in
+    (stats.Driver.throughput, pct 0.50, pct 0.99, d)
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let per_mode = List.map (fun mode -> (mode, cell ~mode ~domains)) mode_names in
+        (domains, per_mode))
+      domain_list
+  in
+  let get mode per_mode = List.assoc mode per_mode in
+  let group_size d =
+    let flushes = d "wal.group_flush" in
+    if flushes = 0 then 0.0 else float_of_int (d "wal.group_commit") /. float_of_int flushes
+  in
+  Report.table
+    ~header:
+      [
+        "domains"; "sync txn/s"; "group txn/s"; "async txn/s"; "group/sync"; "async/sync";
+        "grp size"; "flushes sync"; "flushes group";
+      ]
+    (List.map
+       (fun (domains, per_mode) ->
+         let s_tp, _, _, ds = get "sync" per_mode in
+         let g_tp, _, _, dg = get "group" per_mode in
+         let a_tp, _, _, _ = get "async" per_mode in
+         [
+           Report.i domains;
+           Report.f0 s_tp;
+           Report.f0 g_tp;
+           Report.f0 a_tp;
+           Report.f2 (g_tp /. s_tp);
+           Report.f2 (a_tp /. s_tp);
+           Report.f2 (group_size dg);
+           Report.i (ds "wal.flush");
+           Report.i (dg "wal.flush");
+         ])
+       rows);
+  print_endline "commit latency (wal.commit_latency_ns), microseconds:";
+  Report.table
+    ~header:
+      [
+        "domains"; "sync p50"; "sync p99"; "group p50"; "group p99"; "async p50"; "async p99";
+        "held_across_io";
+      ]
+    (List.map
+       (fun (domains, per_mode) ->
+         let _, sp50, sp99, ds = get "sync" per_mode in
+         let _, gp50, gp99, dg = get "group" per_mode in
+         let _, ap50, ap99, da = get "async" per_mode in
+         let held =
+           ds "latches_held_across_io" + dg "latches_held_across_io"
+           + da "latches_held_across_io"
+         in
+         [
+           Report.i domains;
+           Report.f0 (sp50 /. 1e3);
+           Report.f0 (sp99 /. 1e3);
+           Report.f0 (gp50 /. 1e3);
+           Report.f0 (gp99 /. 1e3);
+           Report.f0 (ap50 /. 1e3);
+           Report.f0 (ap99 /. 1e3);
+           Report.i held;
+         ])
+       rows);
+  (match (rows, List.rev rows) with
+  | (_, pm0) :: _, (dn, pmn) :: _ ->
+    let s1, _, _, _ = get "sync" pm0 in
+    let sn, _, _, _ = get "sync" pmn in
+    let gn, _, _, dg = get "group" pmn in
+    let an, _, _, _ = get "async" pmn in
+    Printf.printf
+      "sync %.0f -> %.0f txn/s across the sweep; at %d domains group commit is %.1fx sync \
+       (async %.1fx) with a mean window of %.1f commits per device write\n"
+      s1 sn dn (gn /. sn) (an /. sn) (group_size dg)
+  | _ -> ());
+  (* One machine-parseable line so BENCH_6.json regenerates from captured
+     output (same convention as E14/E15). *)
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"e16\": [";
+  List.iteri
+    (fun i (domains, per_mode) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"domains\": %d, \"cells\": [" domains;
+      List.iteri
+        (fun j (mode, (tp, p50, p99, d)) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf
+            "{\"mode\": %S, \"txn_s\": %.0f, \"commit_p50_ns\": %.0f, \"commit_p99_ns\": \
+             %.0f, \"flushes\": %d, \"flush_absorbed\": %d, \"group_flush\": %d, \
+             \"group_commit\": %d, \"group_size_mean\": %.2f, \"force_elided\": %d, \
+             \"held_across_io\": %d}"
+            mode tp p50 p99 (d "wal.flush") (d "wal.flush_absorbed") (d "wal.group_flush")
+            (d "wal.group_commit") (group_size d) (d "wal.force_elided")
+            (d "latches_held_across_io"))
+        per_mode;
+      Buffer.add_string buf "]}")
+    rows;
+  Buffer.add_string buf "]}";
+  print_endline (Buffer.contents buf);
+  print_endline
+    "Expected shape: sync stays pinned near 1/flush_delay commits per second\n\
+     per domain-independent device; group climbs with domains as windows\n\
+     batch (>=5x sync at 8 domains, mean window > 2); async decouples commit\n\
+     latency from the device entirely (p50 well under the flush delay);\n\
+     latches_held_across_io identically 0.";
+  (* CI smoke floor: E16_FLOOR_OPS asserts the largest-domain group-mode
+     cell (conservatively low; flags a collapsed commit path). *)
+  match Sys.getenv_opt "E16_FLOOR_OPS" with
+  | None -> ()
+  | Some floor_s -> (
+    match (float_of_string_opt floor_s, List.rev rows) with
+    | Some floor, (_, pm) :: _ ->
+      let g_tp, _, _, _ = get "group" pm in
+      if g_tp >= floor then
+        Printf.printf "E16 floor check: PASS (%.0f >= %.0f txn/s)\n" g_tp floor
+      else begin
+        Printf.printf "E16 floor check: FAIL (%.0f < %.0f txn/s)\n" g_tp floor;
+        exit 1
+      end
+    | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1354,6 +1545,7 @@ let run_experiment ~duration_s ~domain_list = function
   | "E13" | "e13" -> e13 ~duration_s
   | "E14" | "e14" -> e14 ~duration_s ~domain_list
   | "E15" | "e15" -> e15 ~duration_s ~domain_list
+  | "E16" | "e16" -> e16 ~duration_s ~domain_list
   | "F5" | "f5" -> f5 ()
   | "all" ->
     e1 ~duration_s;
@@ -1373,13 +1565,14 @@ let run_experiment ~duration_s ~domain_list = function
     e13 ~duration_s;
     e14 ~duration_s ~domain_list;
     e15 ~duration_s ~domain_list;
+    e16 ~duration_s ~domain_list;
     f5 ()
-  | other -> Printf.eprintf "unknown experiment %S (try E1..E15, F5, all)\n" other
+  | other -> Printf.eprintf "unknown experiment %S (try E1..E16, F5, all)\n" other
 
 open Cmdliner
 
 let experiment =
-  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"E1..E15, F5 or all")
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"E1..E16, F5 or all")
 
 let duration =
   Arg.(

@@ -163,7 +163,7 @@ let with_site site k =
 let cmd_fault_fuzz ~points ~seed =
   Printf.printf "crash-fuzz sweep: %d points, seed %d (fresh DBs; the session is untouched)\n"
     points seed;
-  let summaries = Crash_fuzz.run_sweep ~seed ~points in
+  let summaries = Crash_fuzz.run_sweep ~seed ~points () in
   List.iter (fun sum -> Format.printf "%a@." Crash_fuzz.pp_summary sum) summaries;
   let bad = List.exists (fun sum -> sum.Crash_fuzz.violations <> []) summaries in
   print_endline (if bad then "ORACLE VIOLATIONS FOUND" else "all crash points recovered cleanly")

@@ -5,6 +5,7 @@ module Page_id = Gist_storage.Page_id
 module Lsn = Gist_wal.Lsn
 module Log_manager = Gist_wal.Log_manager
 module Log_record = Gist_wal.Log_record
+module Group_commit = Gist_wal.Group_commit
 
 type nsn_source = Nsn_from_lsn | Nsn_from_counter
 
@@ -22,6 +23,9 @@ type config = {
   node_cache : bool;
   olc : bool;
   olc_retries : int;
+  commit_mode : Group_commit.mode;
+  group_wait_us : int;
+  wal_flush_delay_ns : int;
 }
 
 let default_config =
@@ -37,6 +41,9 @@ let default_config =
     node_cache = true;
     olc = true;
     olc_retries = 8;
+    commit_mode = Group_commit.Sync;
+    group_wait_us = 50;
+    wal_flush_delay_ns = 0;
   }
 
 type t = {
@@ -47,6 +54,7 @@ type t = {
   log : Log_manager.t;
   locks : Gist_txn.Lock_manager.t;
   txns : Gist_txn.Txn_manager.t;
+  group : Group_commit.t option;
   counter : int64 Atomic.t;
   alloc_mutex : Mutex.t;
   mutable alloc_next : int;
@@ -54,6 +62,7 @@ type t = {
 }
 
 let attach ~config ~disk ~log =
+  Log_manager.set_flush_delay_ns log config.wal_flush_delay_ns;
   let log_page_image =
     if not config.full_page_writes then None
     else
@@ -70,6 +79,18 @@ let attach ~config ~disk ~log =
   in
   let locks = Gist_txn.Lock_manager.create () in
   let txns = Gist_txn.Txn_manager.create ~log ~locks in
+  (* Sync spawns no writer domain: the default configuration costs nothing
+     and tears down nothing. Group/Async own a live log-writer until
+     [close] (drain) or [crash] (discard). *)
+  let group =
+    match config.commit_mode with
+    | Group_commit.Sync -> None
+    | Group_commit.Group | Group_commit.Async ->
+      let g = Group_commit.create ~wait_us:config.group_wait_us log in
+      Group_commit.start g;
+      Some g
+  in
+  Gist_txn.Txn_manager.set_durability txns ~mode:config.commit_mode ~group;
   {
     config;
     exts = Hashtbl.create 4;
@@ -78,6 +99,7 @@ let attach ~config ~disk ~log =
     log;
     locks;
     txns;
+    group;
     counter = Atomic.make 0L;
     alloc_mutex = Mutex.create ();
     alloc_next = 1; (* page 0 is the reserved invalid id *)
@@ -89,7 +111,14 @@ let create ?(config = default_config) () =
   let log = Log_manager.create () in
   attach ~config ~disk ~log
 
+let close t =
+  match t.group with None -> () | Some g -> Group_commit.stop g
+
 let crash t =
+  (* Power first: the log-writer domain dies with its un-flushed window
+     (async commits trapped there are exactly the tail a crash loses), so
+     the rewind below really is stop-the-world. *)
+  (match t.group with None -> () | Some g -> Group_commit.halt g);
   Buffer_pool.drop_all t.pool;
   Log_manager.crash t.log;
   let fresh = attach ~config:t.config ~disk:t.disk ~log:t.log in

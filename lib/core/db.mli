@@ -57,6 +57,21 @@ type config = {
       (** Optimistic attempts per node visit before falling back to the S
           latch (counted in [olc.fallback]). [0] disables optimism per
           visit even when [olc = true] — every visit falls back. *)
+  commit_mode : Gist_wal.Group_commit.mode;
+      (** How commits obtain durability: [Sync] (default) forces the log
+          inline; [Group] enqueues to a dedicated log-writer domain and
+          waits for its batched flush; [Async] enqueues without waiting —
+          locks release immediately and durability trails by one flush
+          window, so an async-committed transaction may roll back
+          (atomically) after a crash. PROTOCOL.md §8; experiment E16. *)
+  group_wait_us : int;
+      (** Adaptive flush-window bound for [Group]/[Async]: the most extra
+          microseconds a lone commit stalls to let a batch form (only
+          after a batched window — an idle writer flushes immediately). *)
+  wal_flush_delay_ns : int;
+      (** Simulated log-device latency per physical flush
+          ({!Gist_wal.Log_manager.set_flush_delay_ns}); the commit-path
+          analogue of [io_delay_ns]. *)
 }
 
 val default_config : config
@@ -72,6 +87,9 @@ type t = {
   log : Gist_wal.Log_manager.t;
   locks : Gist_txn.Lock_manager.t;
   txns : Gist_txn.Txn_manager.t;
+  group : Gist_wal.Group_commit.t option;
+      (** The group-commit writer ([Some] iff [commit_mode] is [Group] or
+          [Async]); owned by this environment — [close]/[crash] end it. *)
   counter : int64 Atomic.t;  (** Dedicated NSN counter (Nsn_from_counter). *)
   alloc_mutex : Mutex.t;
   mutable alloc_next : int;
@@ -80,10 +98,19 @@ type t = {
 
 val create : ?config:config -> unit -> t
 
+val close : t -> unit
+(** Clean shutdown of the environment's background machinery: drain and
+    join the group-commit writer domain (every enqueued commit is durable
+    on return). A no-op in [Sync] mode. Call before dropping a
+    [Group]/[Async] environment — domains are not garbage-collected. *)
+
 val crash : t -> t
-(** Simulate a failure: volatile state and the unforced log tail are lost;
-    the returned environment shares the disk and durable log. The old
-    value must not be used afterwards. *)
+(** Simulate a failure: volatile state and the unforced log tail are lost
+    — including durability requests still queued in the group-commit
+    writer's window, whose domain is halted un-drained — and the returned
+    environment shares the disk and durable log (spawning a fresh writer
+    if the config calls for one). The old value must not be used
+    afterwards. *)
 
 val checkpoint : t -> unit
 (** Fuzzy checkpoint: Begin/End record pair carrying the dirty page table,

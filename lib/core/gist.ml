@@ -306,7 +306,10 @@ let create db ext_ ?(unique = false) ~empty_bp () =
   Latch.release (Buffer_pool.latch frame) Latch.X;
   Buffer_pool.unpin db.Db.pool frame;
   Txn_manager.end_nta db.Db.txns txn nta;
-  Txn_manager.commit db.Db.txns txn;
+  (* The tree's existence is not expressible as transaction rollback:
+     lose these records in a crash and recovery has no root to rebuild.
+     So this commit is durable even under async commit (DDL semantics). *)
+  Txn_manager.commit ~durability:`Force db.Db.txns txn;
   let t = { t0 with root } in
   install_recovery t;
   t

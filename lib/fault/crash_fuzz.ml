@@ -5,6 +5,7 @@ module Rid = Gist_storage.Rid
 module Disk = Gist_storage.Disk
 module Buffer_pool = Gist_storage.Buffer_pool
 module Log_manager = Gist_wal.Log_manager
+module Group_commit = Gist_wal.Group_commit
 module Txn = Gist_txn.Txn_manager
 module Xoshiro = Gist_util.Xoshiro
 module Metrics = Gist_obs.Metrics
@@ -29,7 +30,7 @@ type summary = {
 (* Torn-write modes need full-page writes: without a logged image there is
    no repair source for a page the tear destroyed. Clean and ragged modes
    run without, covering the plain-WAL path. *)
-let config mode =
+let config ?(commit_mode = Group_commit.Sync) mode =
   {
     Db.default_config with
     Db.max_entries = 8;
@@ -39,6 +40,10 @@ let config mode =
     (* Fuzz what ships: searches in the workload (and the post-restart
        scans the checker runs) traverse internal nodes latch-free. *)
     olc = true;
+    commit_mode;
+    (* No adaptive stall: the fuzz workload is single-domain, so a window
+       can never batch anyway — waiting would only slow the sweep. *)
+    group_wait_us = 0;
   }
 
 let rid i = Rid.make ~page:1000 ~slot:i
@@ -58,6 +63,11 @@ type wop = Add of int | Del of int
 type shadow = {
   mutable cb : ISet.t;  (* committed btree keys *)
   mutable cr : ISet.t;  (* committed rtree ids *)
+  mutable history : (wtree * wop) list list;
+      (* committed op batches in commit order — the async-mode oracle
+         accepts the state after any prefix of this history, because
+         pipelined durability only ever loses a suffix of commit order
+         (durability is one watermark; commit LSNs are monotone) *)
   mutable in_doubt : (wtree * wop) list option;
       (* a commit was in flight at the crash: the recovered state must
          reflect either none or all of these ops, jointly on both trees *)
@@ -155,6 +165,7 @@ let run_workload db bt rt rng shadow =
       let b, r = apply_ops (shadow.cb, shadow.cr) ops in
       shadow.cb <- b;
       shadow.cr <- r;
+      shadow.history <- shadow.history @ [ ops ];
       shadow.in_doubt <- None
     end
   done;
@@ -194,8 +205,13 @@ let scan_r db t =
 let pp_set s =
   ISet.elements s |> List.map string_of_int |> String.concat ","
 
-(* Run the full post-recovery oracle; returns violation strings. *)
-let oracle ~label db bt rt shadow =
+(* Run the full post-recovery oracle; returns violation strings. With
+   [async] (pipelined durability), a commit that returned may still be
+   lost in the crash — but only together with every later commit, so the
+   acceptance set widens from "the final committed state (± the in-doubt
+   batch)" to "the state after any prefix of the commit history (the
+   in-doubt batch accepted on top of the full history only)". *)
+let oracle ~label ?(async = false) db bt rt shadow =
   let bad = ref [] in
   let add fmt = Printf.ksprintf (fun s -> bad := Printf.sprintf "%s: %s" label s :: !bad) fmt in
   (* 1. Structural invariants of both trees. *)
@@ -217,14 +233,26 @@ let oracle ~label db bt rt shadow =
     add "post-recovery scan read %d unallocated pages (allocator replay broken?)" (ru1 - ru0);
   let base = (shadow.cb, shadow.cr) in
   let matches (b, r) = ISet.equal got_b b && ISet.equal got_r r in
+  let with_in_doubt state =
+    match shadow.in_doubt with None -> false | Some ops -> matches (apply_ops state ops)
+  in
   let consistent =
-    match shadow.in_doubt with
-    | None -> matches base
-    | Some ops -> matches base || matches (apply_ops base ops)
+    if async then begin
+      (* Every prefix of the commit history, oldest first; the in-doubt
+         batch can only sit on top of the full history (it was submitted
+         after every durable-or-not commit before it). *)
+      let rec prefixes state = function
+        | [] -> matches state || with_in_doubt state
+        | batch :: rest -> matches state || prefixes (apply_ops state batch) rest
+      in
+      prefixes (ISet.empty, ISet.empty) shadow.history
+    end
+    else matches base || with_in_doubt base
   in
   if not consistent then begin
     let b, r = base in
-    add "recovered state matches neither commit boundary: btree got {%s} want {%s}%s, rtree got {%s} want {%s}"
+    add "recovered state matches %s: btree got {%s} want {%s}%s, rtree got {%s} want {%s}"
+      (if async then "no prefix of the commit history" else "neither commit boundary")
       (pp_set got_b) (pp_set b)
       (match shadow.in_doubt with Some _ -> " (or +in-doubt)" | None -> "")
       (pp_set got_r) (pp_set r)
@@ -269,18 +297,19 @@ let recovery_plan i =
 
 type point_result = { crashed : bool; violations : string list }
 
-let run_point ~mode ~seed ~index plan =
+let run_point ?(commit_mode = Group_commit.Sync) ~mode ~seed ~index plan =
   let label =
-    Printf.sprintf "%s seed=%d point=%d [%s]" (mode_name mode) seed index
+    Printf.sprintf "%s/%s seed=%d point=%d [%s]" (mode_name mode)
+      (Group_commit.mode_to_string commit_mode) seed index
       (String.concat ","
          (List.map (fun { Fault.site; at; _ } -> Printf.sprintf "%s#%d" (Fault.site_name site) at) plan))
   in
   let latched0 = Metrics.counter_value (Metrics.snapshot ()) "latches_held_across_io" in
-  let db = Db.create ~config:(config mode) () in
+  let db = Db.create ~config:(config ~commit_mode mode) () in
   let bt = Gist.create db B.ext ~empty_bp:B.Empty () in
   let rt = Gist.create db R.ext ~empty_bp:R.Empty () in
   let broot = Gist.root bt and rroot = Gist.root rt in
-  let shadow = { cb = ISet.empty; cr = ISet.empty; in_doubt = None } in
+  let shadow = { cb = ISet.empty; cr = ISet.empty; history = []; in_doubt = None } in
   let rng = Xoshiro.create seed in
   let ctl = Fault.arm ~disk:db.Db.disk ~log:db.Db.log plan in
   let crashed =
@@ -320,12 +349,15 @@ let run_point ~mode ~seed ~index plan =
       bad := [ Printf.sprintf "%s: restart left the torn log tail in place" label ];
     let bt' = Gist.open_existing db' B.ext ~root:broot () in
     let rt' = Gist.open_existing db' R.ext ~root:rroot () in
-    bad := oracle ~label db' bt' rt' shadow @ !bad;
+    bad := oracle ~label ~async:(commit_mode = Group_commit.Async) db' bt' rt' shadow @ !bad;
     if !bad = [] then begin
       let got_b = scan_b db' bt' and got_r = scan_r db' rt' in
       check_idempotent ~label db' bt' rt' got_b got_r bad
     end
   end;
+  (* The recovered environment spawned a fresh log-writer domain in
+     Group/Async mode — a sweep leaks hundreds of domains without this. *)
+  Db.close db';
   let latched1 = Metrics.counter_value (Metrics.snapshot ()) "latches_held_across_io" in
   if latched1 - latched0 <> 0 then
     bad :=
@@ -340,28 +372,34 @@ let run_point ~mode ~seed ~index plan =
 
 (* Count the workload's event stream with a never-firing plan, so crash
    points can be spread evenly across it. *)
-let profile ~mode ~seed =
-  let db = Db.create ~config:(config mode) () in
+let profile ?commit_mode ~mode ~seed () =
+  let db = Db.create ~config:(config ?commit_mode mode) () in
   let bt = Gist.create db B.ext ~empty_bp:B.Empty () in
   let rt = Gist.create db R.ext ~empty_bp:R.Empty () in
-  let shadow = { cb = ISet.empty; cr = ISet.empty; in_doubt = None } in
+  let shadow = { cb = ISet.empty; cr = ISet.empty; history = []; in_doubt = None } in
   let rng = Xoshiro.create seed in
   let ctl = Fault.arm ~disk:db.Db.disk ~log:db.Db.log [] in
   run_workload db bt rt rng shadow;
   Fault.disarm ctl;
+  Db.close db;
   ( Fault.events_seen ctl Fault.Disk_read,
     Fault.events_seen ctl Fault.Disk_write,
-    Fault.events_seen ctl Fault.Wal_append )
+    Fault.events_seen ctl Fault.Wal_append,
+    Fault.events_seen ctl Fault.Wal_flush )
 
-let plan_for ~mode ~counts:(reads, writes, appends) ~page_size ~index ~points =
+let plan_for ~mode ~counts:(reads, writes, appends, flushes) ~page_size ~index ~points =
   let spread total i = 1 + (i * total / max 1 points) mod max 1 total in
   match mode with
   | Clean | Double ->
-    let total = reads + writes + appends in
+    (* Flush-request points cover the window between a commit record's
+       append and its durability — the group-commit crash surface. *)
+    let total = reads + writes + appends + flushes in
     let g = spread total index in
     if g <= reads then Fault.crash_after Fault.Disk_read g
     else if g <= reads + writes then Fault.crash_after Fault.Disk_write (g - reads)
-    else Fault.crash_after Fault.Wal_append (g - reads - writes)
+    else if g <= reads + writes + appends then
+      Fault.crash_after Fault.Wal_append (g - reads - writes)
+    else Fault.crash_after Fault.Wal_flush (g - reads - writes - appends)
   | Torn ->
     let keep = 8 + (index * 97 mod (page_size - 8)) in
     Fault.torn_write_at (spread writes index) ~keep
@@ -369,14 +407,14 @@ let plan_for ~mode ~counts:(reads, writes, appends) ~page_size ~index ~points =
     let keep = 1 + (index * 7 mod 48) in
     Fault.ragged_append_at (spread appends index) ~keep
 
-let run_mode ~seed ~points mode =
-  let counts = profile ~mode ~seed in
-  let reads, writes, appends = counts in
+let run_mode ?commit_mode ~seed ~points mode =
+  let counts = profile ?commit_mode ~mode ~seed () in
+  let reads, writes, appends, flushes = counts in
   let page_size = (config mode).Db.page_size in
   let crashes = ref 0 and violations = ref [] in
   for i = 0 to points - 1 do
     let plan = plan_for ~mode ~counts ~page_size ~index:i ~points in
-    let r = run_point ~mode ~seed ~index:i plan in
+    let r = run_point ?commit_mode ~mode ~seed ~index:i plan in
     if r.crashed then incr crashes;
     violations := !violations @ r.violations
   done;
@@ -384,21 +422,21 @@ let run_mode ~seed ~points mode =
     mode;
     points;
     crashes = !crashes;
-    events = reads + writes + appends;
+    events = reads + writes + appends + flushes;
     violations = !violations;
   }
 
 (* 2:1:1:1 split across clean / torn / ragged / double-crash modes. *)
-let run_sweep ~seed ~points =
+let run_sweep ?commit_mode ~seed ~points () =
   let clean = max 1 (2 * points / 5) in
   let torn = max 1 (points / 5) in
   let ragged = max 1 (points / 5) in
   let double = max 1 (points - clean - torn - ragged) in
   [
-    run_mode ~seed ~points:clean Clean;
-    run_mode ~seed:(seed + 1) ~points:torn Torn;
-    run_mode ~seed:(seed + 2) ~points:ragged Ragged;
-    run_mode ~seed:(seed + 3) ~points:double Double;
+    run_mode ?commit_mode ~seed ~points:clean Clean;
+    run_mode ?commit_mode ~seed:(seed + 1) ~points:torn Torn;
+    run_mode ?commit_mode ~seed:(seed + 2) ~points:ragged Ragged;
+    run_mode ?commit_mode ~seed:(seed + 3) ~points:double Double;
   ]
 
 let pp_summary ppf s =

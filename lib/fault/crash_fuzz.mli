@@ -49,11 +49,23 @@ type summary = {
   violations : string list;  (** Oracle violations — empty on success. *)
 }
 
-val run_mode : seed:int -> points:int -> mode -> summary
+val run_mode :
+  ?commit_mode:Gist_wal.Group_commit.mode -> seed:int -> points:int -> mode -> summary
 (** Profile the seeded workload, then run [points] crash points spread
-    across its event stream in the given mode. *)
+    across its event stream (disk reads, disk writes, WAL appends, and —
+    new with group commit — durability requests, the window between a
+    commit record's append and its flush) in the given mode.
 
-val run_sweep : seed:int -> points:int -> summary list
+    [commit_mode] (default [Sync]) selects the durability route the
+    workload's commits take. Under [Group] the oracle is unchanged —
+    commit still blocks until its LSN is durable. Under [Async] the oracle
+    widens to the pipelined-durability contract: the recovered state must
+    equal the state after {e some prefix} of the commit history (a commit
+    that returned may be lost, but only together with every later commit
+    — and always atomically; PROTOCOL.md §8). *)
+
+val run_sweep :
+  ?commit_mode:Gist_wal.Group_commit.mode -> seed:int -> points:int -> unit -> summary list
 (** Split [points] across the four modes (2:1:1:1) with distinct seeds. *)
 
 val pp_summary : Format.formatter -> summary -> unit

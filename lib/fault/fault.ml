@@ -23,12 +23,13 @@ let m_io_errors =
 
 let m_delays = Metrics.counter ~unit_:"ops" ~help:"injected latency spikes" "fault.delay"
 
-type site = Disk_read | Disk_write | Wal_append
+type site = Disk_read | Disk_write | Wal_append | Wal_flush
 
 let site_name = function
   | Disk_read -> "disk.read"
   | Disk_write -> "disk.write"
   | Wal_append -> "wal.append"
+  | Wal_flush -> "wal.flush"
 
 type action =
   | Crash_now
@@ -56,6 +57,7 @@ type t = {
   mutable n_read : int;
   mutable n_write : int;
   mutable n_append : int;
+  mutable n_flush : int;
   mutable ragged_keep : int option;
       (* a ragged-append point fired: [materialize_crash] must leave a
          torn tail in the log *)
@@ -73,6 +75,7 @@ let events_seen t = function
   | Disk_read -> t.n_read
   | Disk_write -> t.n_write
   | Wal_append -> t.n_append
+  | Wal_flush -> t.n_flush
 
 let fired t = List.rev t.fired
 
@@ -158,6 +161,21 @@ let on_append t =
     | None -> ()
   end
 
+(* Counted at the durability *request* — [force]/[force_all] entry and
+   [Group_commit.submit] — in the requesting domain, never in the
+   log-writer domain; the count is the same however many requests each
+   physical flush later absorbs, so schedules stay seed-deterministic
+   across commit modes. A crash here is the power dying with a commit's
+   flush request in flight: the commit record is appended but (unless a
+   neighbor already covered it) not durable. *)
+let on_flush t =
+  if not t.in_hook then begin
+    t.n_flush <- t.n_flush + 1;
+    match lookup t Wal_flush t.n_flush with
+    | Some p -> apply_simple t Wal_flush t.n_flush p.act
+    | None -> ()
+  end
+
 let arm ~disk ~log plan =
   let t =
     {
@@ -167,6 +185,7 @@ let arm ~disk ~log plan =
       n_read = 0;
       n_write = 0;
       n_append = 0;
+      n_flush = 0;
       ragged_keep = None;
       crash_after_write = false;
       in_hook = false;
@@ -181,12 +200,14 @@ let arm ~disk ~log plan =
          after_write = (fun pid -> after_write t pid);
        });
   Log_manager.set_append_hook log (Some (fun () -> on_append t));
+  Log_manager.set_flush_hook log (Some (fun () -> on_flush t));
   Metrics.incr m_armed;
   t
 
 let disarm t =
   Disk.set_hooks t.disk None;
-  Log_manager.set_append_hook t.log None
+  Log_manager.set_append_hook t.log None;
+  Log_manager.set_flush_hook t.log None
 
 let materialize_crash t db =
   disarm t;

@@ -27,12 +27,18 @@ exception Io_error
 (** Simulated transient device error ({!Io_error_once}); the operation
     failed but the system lives on. *)
 
-type site = Disk_read | Disk_write | Wal_append
-(** Hook points events are counted at (each counted from 1 per arming). *)
+type site = Disk_read | Disk_write | Wal_append | Wal_flush
+(** Hook points events are counted at (each counted from 1 per arming).
+    [Wal_flush] counts durability {e requests} — [Log_manager.force] entry
+    and [Group_commit.submit] — in the requesting domain (never the
+    log-writer domain), so one count per commit regardless of how many
+    requests each physical flush window absorbs: schedules stay
+    seed-deterministic across commit modes. A crash there is power dying
+    between a commit record's append and its durability. *)
 
 val site_name : site -> string
-(** ["disk.read"], ["disk.write"], ["wal.append"] — the labels used by the
-    [Fault_inject] trace event. *)
+(** ["disk.read"], ["disk.write"], ["wal.append"], ["wal.flush"] — the
+    labels used by the [Fault_inject] trace event. *)
 
 type action =
   | Crash_now  (** Power loss before the operation touches anything. *)

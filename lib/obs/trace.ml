@@ -13,6 +13,7 @@ type event =
   | Nta_commit of { txn : Txn_id.t }
   | Wal_append of { lsn : int64; bytes : int }
   | Wal_force of { lsn : int64 }
+  | Group_flush of { lsn : int64; group : int }
   | Fault_inject of { site : string; seq : int }
   | Lock_wait of { txn : Txn_id.t; name : string; mode : mode }
   | Deadlock_victim of { txn : Txn_id.t }
@@ -116,6 +117,7 @@ let pp_event ppf = function
   | Nta_commit { txn } -> Format.fprintf ppf "nta.commit %a" Txn_id.pp txn
   | Wal_append { lsn; bytes } -> Format.fprintf ppf "wal.append lsn=%Ld %dB" lsn bytes
   | Wal_force { lsn } -> Format.fprintf ppf "wal.force lsn=%Ld" lsn
+  | Group_flush { lsn; group } -> Format.fprintf ppf "wal.group_flush lsn=%Ld group=%d" lsn group
   | Fault_inject { site; seq } -> Format.fprintf ppf "fault.inject site=%s seq=%d" site seq
   | Lock_wait { txn; name; mode } ->
     Format.fprintf ppf "lock.wait %a %s %a" Txn_id.pp txn name pp_mode mode

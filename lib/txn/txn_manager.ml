@@ -2,6 +2,7 @@ open Gist_util
 module Lsn = Gist_wal.Lsn
 module Log_record = Gist_wal.Log_record
 module Log_manager = Gist_wal.Log_manager
+module Group_commit = Gist_wal.Group_commit
 module Metrics = Gist_obs.Metrics
 module Trace = Gist_obs.Trace
 
@@ -13,6 +14,17 @@ let m_aborts = Metrics.counter ~unit_:"ops" ~help:"transactions rolled back" "tx
 
 let m_ntas =
   Metrics.counter ~unit_:"ops" ~help:"nested top actions opened (splits, node deletes)" "txn.nta"
+
+let m_force_elided =
+  Metrics.counter ~unit_:"ops"
+    ~help:"durability barriers dropped because the caller did not need one (rollback: an \
+           un-forced abort is re-derived by restart, so the force bought nothing)"
+    "wal.force_elided"
+
+let h_commit_latency =
+  Metrics.histogram ~unit_:"ns"
+    ~help:"commit call latency: log the Commit record, obtain durability per the commit \
+           mode, release locks" "wal.commit_latency_ns"
 
 type txn = {
   tid : Txn_id.t;
@@ -37,6 +49,8 @@ type t = {
   next_id : int Atomic.t;
   mutable undo_handler : (txn -> Log_record.t -> unit) option;
   mutable end_hooks : (Txn_id.t -> unit) list;
+  mutable commit_mode : Group_commit.mode;
+  mutable group : Group_commit.t option;
 }
 
 let mk_shards () =
@@ -53,9 +67,17 @@ let create ~log ~locks =
     next_id = Atomic.make 1;
     undo_handler = None;
     end_hooks = [];
+    commit_mode = Group_commit.Sync;
+    group = None;
   }
 
 let set_undo_handler t f = t.undo_handler <- Some f
+
+let set_durability t ~mode ~group =
+  t.commit_mode <- mode;
+  t.group <- group
+
+let commit_mode t = t.commit_mode
 
 let add_end_hook t f = t.end_hooks <- t.end_hooks @ [ f ]
 
@@ -112,19 +134,45 @@ let drop t txn =
   Hashtbl.remove sh.stbl txn.tid;
   Mutex.unlock sh.sm
 
-let commit t txn =
+(* Durability per commit mode. [Sync] is the classic path: this committer
+   pays the physical flush itself. [Group] hands the LSN to the log-writer
+   domain and blocks until its window flush covers it — same contract,
+   one device write amortized over the window. [Async] enqueues and
+   returns: locks and predicates release immediately and durability
+   trails by one flush window (an async-committed transaction may roll
+   back — atomically — after a crash; PROTOCOL.md §8). With no writer
+   wired (plain [create], or the writer stopped), every mode degrades to
+   a safe inline flush except [Async], which legitimately leaves the
+   record volatile. *)
+let commit_durability t lsn =
+  match (t.commit_mode, t.group) with
+  | Group_commit.Sync, _ | _, None -> Log_manager.force t.log lsn
+  | Group_commit.Group, Some g -> Group_commit.submit ~wait:true g lsn
+  | Group_commit.Async, Some g -> Group_commit.submit ~wait:false g lsn
+
+(* Durability independent of the configured route: wait on the writer's
+   window if one is wired, flush inline otherwise. *)
+let forced_durability t lsn =
+  match t.group with
+  | Some g -> Group_commit.submit ~wait:true g lsn
+  | None -> Log_manager.force t.log lsn
+
+let commit ?(durability = `Mode) t txn =
   Metrics.incr m_commits;
-  let commit_rec = log_update t txn Log_record.Commit in
-  Log_manager.force t.log commit_rec;
-  txn.status <- Log_record.Committed;
-  let sh = shard t.committed txn.tid in
-  Mutex.lock sh.sm;
-  Hashtbl.replace sh.stbl txn.tid ();
-  Mutex.unlock sh.sm;
-  run_end_hooks t txn.tid;
-  ignore (log_update t txn Log_record.End);
-  drop t txn;
-  Lock_manager.release_all t.lock_mgr txn.tid
+  Metrics.time_ns h_commit_latency (fun () ->
+      let commit_rec = log_update t txn Log_record.Commit in
+      (match durability with
+      | `Mode -> commit_durability t commit_rec
+      | `Force -> forced_durability t commit_rec);
+      txn.status <- Log_record.Committed;
+      let sh = shard t.committed txn.tid in
+      Mutex.lock sh.sm;
+      Hashtbl.replace sh.stbl txn.tid ();
+      Mutex.unlock sh.sm;
+      run_end_hooks t txn.tid;
+      ignore (log_update t txn Log_record.End);
+      drop t txn;
+      Lock_manager.release_all t.lock_mgr txn.tid)
 
 (* Walk the backchain from [txn.last] down to (exclusive) [stop_at],
    invoking the undo handler on each undoable record and honoring CLR
@@ -165,7 +213,11 @@ let abort t txn =
   undo_chain t txn ~stop_at:Lsn.nil;
   run_end_hooks t txn.tid;
   ignore (log_update t txn Log_record.End);
-  Log_manager.force t.log txn.last;
+  (* No durability barrier: if the un-forced Abort/CLR tail is lost in a
+     crash, restart re-derives the very same rollback from the prefix —
+     forcing here bought nothing but a device write on the abort path. A
+     later commit's flush will carry these records out. *)
+  Metrics.incr m_force_elided;
   drop t txn;
   Lock_manager.release_all t.lock_mgr txn.tid
 

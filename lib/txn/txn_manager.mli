@@ -12,8 +12,13 @@
     predicate manager uses that to let operations "block on a predicate"
     by S-locking the owner's id (§10.3).
 
-    Commit forces the log up to the commit record before releasing locks
-    (durability), then writes End. *)
+    Commit obtains durability for the Commit record before releasing locks
+    — inline ([Sync]), via the group-commit writer ([Group]), or not at
+    all until the next flush window ([Async], pipelined durability) — then
+    writes End; see [set_durability]. Abort deliberately takes {e no}
+    durability barrier: a crash that loses the un-forced rollback tail
+    just makes restart redo the same rollback ([wal.force_elided] counts
+    the saved device writes). *)
 
 type t
 
@@ -24,6 +29,16 @@ val create : log:Gist_wal.Log_manager.t -> locks:Lock_manager.t -> t
 val set_undo_handler : t -> (txn -> Gist_wal.Log_record.t -> unit) -> unit
 (** [handler txn record] must apply the compensating action for [record]
     and log the CLR via [log_update]. Required before any abort. *)
+
+val set_durability : t -> mode:Gist_wal.Group_commit.mode -> group:Gist_wal.Group_commit.t option -> unit
+(** Route commit durability: [Sync] (the [create] default) forces the log
+    inline; [Group] submits to [group]'s log-writer domain and waits;
+    [Async] submits without waiting — locks release immediately and
+    durability trails by one flush window (PROTOCOL.md §8). [Group]/
+    [Async] degrade to the safe [Sync] behavior when [group] is [None]. *)
+
+val commit_mode : t -> Gist_wal.Group_commit.mode
+(** The durability route commits currently take. *)
 
 val add_end_hook : t -> (Gist_util.Txn_id.t -> unit) -> unit
 (** Called (in registration order) when a transaction commits or finishes
@@ -57,7 +72,14 @@ val end_nta : t -> txn -> Gist_wal.Lsn.t -> unit
     points at the pre-NTA position, making the enclosed records invisible
     to any later undo ("individually committed atomic unit of work"). *)
 
-val commit : t -> txn -> unit
+val commit : ?durability:[ `Mode | `Force ] -> t -> txn -> unit
+(** Commit. [~durability:`Mode] (default) obtains durability per the
+    configured commit mode; [`Force] waits for the commit record to be
+    durable even under [Async] — for work whose loss cannot be expressed
+    as transaction rollback, e.g. the system transaction that formats a
+    new tree's root: were its records lost in a crash, the tree would
+    not merely lose updates, it would never have existed. *)
+
 val abort : t -> txn -> unit
 
 val savepoint : t -> txn -> string -> unit

@@ -1,0 +1,189 @@
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+type mode = Sync | Group | Async
+
+let mode_to_string = function Sync -> "sync" | Group -> "group" | Async -> "async"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "sync" -> Some Sync
+  | "group" -> Some Group
+  | "async" -> Some Async
+  | _ -> None
+
+let m_group_commit =
+  Metrics.counter ~unit_:"ops"
+    ~help:"durability requests routed through the group-commit writer" "wal.group_commit"
+
+let m_group_flush =
+  Metrics.counter ~unit_:"ops"
+    ~help:"flush windows the log-writer domain executed (one device write each)"
+    "wal.group_flush"
+
+let h_group_size =
+  Metrics.histogram ~unit_:"reqs"
+    ~help:"durability requests coalesced into each flush window" "wal.group_size"
+
+(* Shared with [Log_manager]'s sync path: the registry dedupes by name, so
+   both routes land their stall time in one histogram and pre/post latency
+   stays directly comparable. *)
+let h_force_wait_ns =
+  Metrics.histogram ~unit_:"ns"
+    ~help:"time a durability request stalled: device queueing + the physical flush"
+    "wal.force_wait_ns"
+
+(* All mutable state sits behind one mutex: the request window ([reqs]
+   pending requests, [hi] the highest LSN among them) and the lifecycle
+   flags. Committers only ever increment the window and wake the writer —
+   the writer alone talks to the log device, so commit throughput is bound
+   by windows per second, not flushes per committer. [last_group] is
+   touched only by the writer domain (adaptive-window memory). *)
+type t = {
+  log : Log_manager.t;
+  wait_us : int;
+  m : Mutex.t;
+  work : Condition.t;  (* writer parks here while the window is empty *)
+  done_ : Condition.t;  (* waiters park here until their LSN is durable *)
+  mutable reqs : int;
+  mutable hi : Lsn.t;
+  mutable stopping : bool;
+  mutable writer : unit Domain.t option;
+  mutable last_group : int;
+}
+
+let create ?(wait_us = 50) log =
+  {
+    log;
+    wait_us = max 0 wait_us;
+    m = Mutex.create ();
+    work = Condition.create ();
+    done_ = Condition.create ();
+    reqs = 0;
+    hi = Lsn.nil;
+    stopping = false;
+    writer = None;
+    last_group = 1;
+  }
+
+(* One writer iteration: park until the window is non-empty, grab it,
+   flush once, wake everyone. The adaptive stall fires when the pending
+   window is smaller than the previous one — the signature of a pipeline
+   bubble, where the last window's waiters are still waking up and
+   re-submitting. Stalling at most [wait_us] lets the window refill so
+   one device write keeps covering a full complement of commits (the
+   binlog-style sync-delay heuristic); when idle ([last_group] = 1)
+   requests flush immediately and pay no added latency. *)
+let rec writer_loop t =
+  Mutex.lock t.m;
+  while t.reqs = 0 && not t.stopping do
+    Condition.wait t.work t.m
+  done;
+  if t.reqs = 0 then (* stopping and fully drained *)
+    Mutex.unlock t.m
+  else begin
+    if t.reqs < t.last_group && t.wait_us > 0 && not t.stopping then begin
+      Mutex.unlock t.m;
+      Unix.sleepf (Float.of_int t.wait_us /. 1e6);
+      Mutex.lock t.m
+    end;
+    let n = t.reqs and target = t.hi in
+    t.reqs <- 0;
+    Mutex.unlock t.m;
+    Log_manager.flush_to t.log target;
+    t.last_group <- n;
+    Metrics.incr m_group_flush;
+    Metrics.record h_group_size (Float.of_int n);
+    if Trace.enabled () then Trace.emit (Trace.Group_flush { lsn = target; group = n });
+    Mutex.lock t.m;
+    Condition.broadcast t.done_;
+    Mutex.unlock t.m;
+    writer_loop t
+  end
+
+let start t =
+  Mutex.lock t.m;
+  if t.writer = None then begin
+    t.stopping <- false;
+    t.writer <- Some (Domain.spawn (fun () -> writer_loop t))
+  end;
+  Mutex.unlock t.m
+
+let running t =
+  Mutex.lock t.m;
+  let r = t.writer <> None in
+  Mutex.unlock t.m;
+  r
+
+(* [drain = true] is a clean shutdown: the writer (and a final sweep here,
+   for stragglers that enqueued between its last grab and its exit)
+   flushes everything pending before the join returns. [drain = false] is
+   a power cut: the pending window is discarded un-flushed — exactly the
+   log tail a simulated crash loses — though a flush the writer already
+   started runs to completion, like a device write in flight at failure. *)
+let shutdown ~drain t =
+  Mutex.lock t.m;
+  let d = t.writer in
+  t.writer <- None;
+  if not drain then t.reqs <- 0;
+  if d <> None then begin
+    t.stopping <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.m;
+  (match d with None -> () | Some d -> Domain.join d);
+  Mutex.lock t.m;
+  t.stopping <- false;
+  if t.reqs > 0 then
+    if drain then begin
+      let target = t.hi in
+      t.reqs <- 0;
+      Mutex.unlock t.m;
+      Log_manager.flush_to t.log target;
+      Mutex.lock t.m
+    end
+    else t.reqs <- 0;
+  Condition.broadcast t.done_;
+  Mutex.unlock t.m
+
+let stop t = shutdown ~drain:true t
+
+let halt t = shutdown ~drain:false t
+
+(* A waiter is released when its LSN is durable, or when the writer is
+   gone with nothing pending (a [halt]: the power died with the request
+   in the window — the waiting commit died with it, so there is nothing
+   durable to wait for). The durable watermark is the only log state
+   consulted: the publish watermark may legitimately trail a freshly
+   reserved LSN while neighboring appends are in flight, so it cannot
+   distinguish "not yet published" from "crash-rewound". *)
+let covered t lsn = Lsn.compare (Log_manager.durable_lsn t.log) lsn >= 0
+
+let submit ?(wait = true) t lsn =
+  Log_manager.fire_flush_hook t.log;
+  Metrics.incr m_group_commit;
+  if Lsn.compare (Log_manager.durable_lsn t.log) lsn >= 0 then ()
+  else begin
+    Mutex.lock t.m;
+    if t.writer = None && not t.stopping then begin
+      (* No writer domain (stopped, or never started): fall back to an
+         inline flush for synchronous waiters. The request hook already
+         fired above, so go through the hookless physical-flush entry.
+         A no-wait request stays volatile until a neighboring flush or
+         checkpoint covers it: that is exactly Async's durability-trails
+         contract. *)
+      Mutex.unlock t.m;
+      if wait then Metrics.time_ns h_force_wait_ns (fun () -> Log_manager.flush_to t.log lsn)
+    end
+    else begin
+      t.reqs <- t.reqs + 1;
+      if Lsn.compare lsn t.hi > 0 then t.hi <- lsn;
+      Condition.signal t.work;
+      if wait then
+        Metrics.time_ns h_force_wait_ns (fun () ->
+            while not (covered t lsn) && (t.writer <> None || t.reqs > 0 || t.stopping) do
+              Condition.wait t.done_ t.m
+            done);
+      Mutex.unlock t.m
+    end
+  end

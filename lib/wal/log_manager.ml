@@ -18,6 +18,23 @@ let m_append_retry =
     ~help:"contended publish-watermark CAS retries on the lock-free append path"
     "wal.append_retry"
 
+let m_flushes =
+  Metrics.counter ~unit_:"ops"
+    ~help:"physical log-device writes (one per flush window, however many LSNs it covers)"
+    "wal.flush"
+
+let m_flush_absorbed =
+  Metrics.counter ~unit_:"ops"
+    ~help:"flushes whose LSN a neighboring flush had already covered when they reached \
+           the device head — their write was merged but their flush command still paid \
+           the device barrier (host-side merging the caller left on the table)"
+    "wal.flush_absorbed"
+
+let h_force_wait_ns =
+  Metrics.histogram ~unit_:"ns"
+    ~help:"time a durability request stalled: device queueing + the physical flush"
+    "wal.force_wait_ns"
+
 let h_append_ns =
   Metrics.histogram ~unit_:"ns" ~help:"serialize + LSN-reserve + publish latency of one append"
     "wal.append_ns"
@@ -69,9 +86,22 @@ type t = {
   wait_c : Condition.t;
   waiters : int Atomic.t; (* publishers broadcast only when someone is parked *)
   forces : int Atomic.t;
+  flush_m : Mutex.t;
+      (* the simulated log device: one flush command at a time, and every
+         command pays the full device round-trip ([flush_delay_ns]) — a
+         barrier issued to the device costs the same whether or not the
+         cache still holds dirty bytes. Merging concurrent flushes into
+         one command is the *host's* job; [Group_commit]'s writer domain
+         is where that happens. *)
+  flush_delay_ns : int Atomic.t; (* simulated device latency per physical flush *)
   mutable bytes_base : int; (* [wal.append_bytes] value at create/reset_stats *)
   mutable append_hook : (unit -> unit) option;
       (* fault injection: runs at append entry, before any state changes *)
+  mutable flush_hook : (unit -> unit) option;
+      (* fault injection: runs at every durability *request* (force entry,
+         group-commit submit) in the requesting domain, never in the
+         log-writer domain — crash points inside the flush window stay
+         deterministic for the crash fuzzer *)
   torn_tail : Bytes.t option Atomic.t;
       (* a partially persisted record beyond [durable] left by a ragged
          crash; occupies no LSN slot and must be discarded at restart *)
@@ -90,12 +120,21 @@ let create () =
     wait_c = Condition.create ();
     waiters = Atomic.make 0;
     forces = Atomic.make 0;
+    flush_m = Mutex.create ();
+    flush_delay_ns = Atomic.make 0;
     bytes_base = Metrics.value m_bytes;
     append_hook = None;
+    flush_hook = None;
     torn_tail = Atomic.make None;
   }
 
 let set_append_hook t hook = t.append_hook <- hook
+
+let set_flush_hook t hook = t.flush_hook <- hook
+
+let fire_flush_hook t = match t.flush_hook with None -> () | Some hook -> hook ()
+
+let set_flush_delay_ns t ns = Atomic.set t.flush_delay_ns (max 0 ns)
 
 (* The slot holding [lsn], or [None] when its chunk has not been allocated
    (or was truncated away wholesale). Lock-free. *)
@@ -206,14 +245,34 @@ let rec advance_durable t target =
   let d = Atomic.get t.durable in
   if d < target && not (Atomic.compare_and_set t.durable d target) then advance_durable t target
 
+(* The physical flush: one simulated flush command making every record up
+   to [target] durable. The device ([flush_m]) admits one command at a
+   time and each pays the full round-trip: a caller that queued behind a
+   neighbor whose write already covered its LSN has nothing left to
+   *write* ([wal.flush_absorbed]) but still owes its own barrier —
+   devices don't merge flush commands, hosts do. That merging is exactly
+   what [Group_commit]'s writer domain adds: one command per window
+   instead of one per committer. *)
 let force_to t target =
   wait_published t target;
   (* If a simulated crash rewound the tail while we waited, only what
      remains published can be made durable. *)
-  advance_durable t (min target (Atomic.get t.published));
+  let target = min target (Atomic.get t.published) in
+  if target > Atomic.get t.durable then begin
+    Mutex.lock t.flush_m;
+    if target <= Atomic.get t.durable then Metrics.incr m_flush_absorbed;
+    let delay = Atomic.get t.flush_delay_ns in
+    if delay > 0 then Unix.sleepf (Float.of_int delay /. 1e9);
+    Metrics.incr m_flushes;
+    (* Re-clamp: a crash during the simulated device wait may have
+       rewound the published watermark below the target. *)
+    advance_durable t (min target (Atomic.get t.published));
+    Mutex.unlock t.flush_m
+  end;
   if Trace.enabled () then Trace.emit (Trace.Wal_force { lsn = Int64.of_int (Atomic.get t.durable) })
 
 let force t lsn =
+  fire_flush_hook t;
   (* Fast path: already durable. [durable] only grows, so a stale read can
      only under-report and send us to the slow path. Group-commit callers
      whose LSN a neighbor already forced return immediately. *)
@@ -221,13 +280,21 @@ let force t lsn =
   else begin
     Atomic.incr t.forces;
     Metrics.incr m_forces;
-    force_to t (min (Int64.to_int lsn) (Atomic.get t.next))
+    Metrics.time_ns h_force_wait_ns (fun () ->
+        force_to t (min (Int64.to_int lsn) (Atomic.get t.next)))
   end
 
 let force_all t =
+  fire_flush_hook t;
   Atomic.incr t.forces;
   Metrics.incr m_forces;
-  force_to t (Atomic.get t.next)
+  Metrics.time_ns h_force_wait_ns (fun () -> force_to t (Atomic.get t.next))
+
+(* The group-commit writer's entry point: a physical flush with no
+   request hook (the request already fired in the submitting domain) and
+   no [forces] accounting (the writer's device writes are counted in
+   [wal.flush] / [wal.group_flush], not as caller-side force calls). *)
+let flush_to t lsn = force_to t (min (Int64.to_int lsn) (Atomic.get t.next))
 
 let last_lsn t = Int64.of_int (Atomic.get t.published)
 

@@ -41,15 +41,37 @@ val append :
     reservation is also in place. *)
 
 val force : t -> Lsn.t -> unit
-(** Make every record up to and including [lsn] durable. Lock-free: waits
-    (parked on a condition variable) for the publish watermark to cover
-    [lsn] if a neighboring append below it is still in flight, then
-    advances the durability watermark by CAS. Returns immediately when
-    [lsn] is already durable (counted in the [wal.force_noop] metric, not
-    in {!forces}). *)
+(** Make every record up to and including [lsn] durable. Waits (parked on
+    a condition variable) for the publish watermark to cover [lsn] if a
+    neighboring append below it is still in flight, then performs one
+    physical flush on the simulated log device: a single-admission mutex
+    plus the configured {!set_flush_delay_ns} latency. Every flush
+    command pays the full device round-trip — a caller that queued behind
+    a neighbor whose flush already covered its LSN has nothing left to
+    write ([wal.flush_absorbed]) but still owes its own barrier; merging
+    concurrent flushes into one command is the host's job, which is what
+    {!Group_commit}'s writer domain adds. Returns immediately when [lsn] is
+    already durable (counted in the [wal.force_noop] metric, not in
+    {!forces}). Time stalled in the slow path lands in the
+    [wal.force_wait_ns] histogram; each entry fires the flush-request
+    hook ({!set_flush_hook}). *)
 
 val force_all : t -> unit
 (** Make the whole log durable ({!force} up to the highest reserved LSN). *)
+
+val flush_to : t -> Lsn.t -> unit
+(** The physical flush alone: make records up to [lsn] durable {e without}
+    firing the flush-request hook or counting a caller-side force — the
+    entry point for {!Group_commit}'s log-writer domain, whose requests
+    already fired the hook in the submitting domain. One device write
+    covers every LSN up to the clamp, however many committers requested
+    them. *)
+
+val set_flush_delay_ns : t -> int -> unit
+(** Simulated log-device latency per physical flush (default 0). Like the
+    disk's [io_delay_ns] it blocks only the flushing domain, so group
+    commit — which amortizes one flush over every commit in the window —
+    shows up as real throughput, not just a counter. *)
 
 val last_lsn : t -> Lsn.t
 (** LSN of the most recent {e published} record (the global NSN counter).
@@ -141,3 +163,16 @@ val set_append_hook : t -> (unit -> unit) option -> unit
     loss, [Gist_fault.Crash]) means the append never happened and never
     leaves the log, which survives the crash, in a locked or half-updated
     state. One [None] branch per append when injection is off. *)
+
+val set_flush_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook run at every {e durability request} —
+    {!force} / {!force_all} entry (before the already-durable fast path)
+    and {!Group_commit.submit} — in the requesting domain, never in the
+    log-writer domain. That placement keeps fault schedules deterministic:
+    the hook fires once per request regardless of how many requests each
+    physical flush absorbs. *)
+
+val fire_flush_hook : t -> unit
+(** Run the flush hook if one is installed — for durability entry points
+    outside this module ({!Group_commit.submit}) that must participate in
+    the same fault-injection site. *)

@@ -134,7 +134,7 @@ let fuzz_points () =
 
 let test_crash_fuzz_sweep () =
   let points = fuzz_points () in
-  let summaries = Crash_fuzz.run_sweep ~seed:20260806 ~points in
+  let summaries = Crash_fuzz.run_sweep ~seed:20260806 ~points () in
   List.iter
     (fun s ->
       List.iter

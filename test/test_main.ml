@@ -28,4 +28,5 @@ let () =
       ("props", Test_props.suite);
       ("scaling", Test_scaling.suite);
       ("olc", Test_olc.suite);
+      ("group_commit", Test_group_commit.suite);
     ]

@@ -340,7 +340,7 @@ let test_crash_fuzz_over_new_wal () =
   (* A fixed 200-point sweep (unscaled by FUZZ_POINTS: this is the floor
      the scaling PR promises) with a seed distinct from test_fault's, so
      the slot-reservation WAL faces fresh schedules. *)
-  let summaries = Crash_fuzz.run_sweep ~seed:20260814 ~points:200 in
+  let summaries = Crash_fuzz.run_sweep ~seed:20260814 ~points:200 () in
   List.iter
     (fun s ->
       List.iter (fun v -> Alcotest.failf "oracle violation: %s" v) s.Crash_fuzz.violations;
