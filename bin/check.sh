@@ -2,8 +2,11 @@
 # CI-style gate: everything builds, all tests pass, docs build cleanly.
 # Run from the repo root: ./bin/check.sh
 #
-# FUZZ_POINTS tunes the crash-fuzz sweep's point budget (default 200;
-# CI raises it — see .github/workflows/ci.yml).
+# FUZZ_POINTS tunes the crash-fuzz sweeps' point budget (default 200;
+# CI raises it — see .github/workflows/ci.yml). The same budget covers
+# the plain sweep (test/test_fault.ml) and the background-writer sweep
+# (test/test_eviction.ml), which re-runs every fault mode with the
+# writer/checkpointer domain and prefetch racing the crash point.
 #
 # --force-restarts additionally runs the OLC forced-restart stress cases
 # (test/test_olc.ml reads OLC_FORCE_RESTARTS): a writer domain repeatedly

@@ -115,6 +115,7 @@ let advance c =
                 end)
               (Node.internal_entries node)
           end);
+    Gist.prefetch_pending c.tree c.stack;
     (match !fresh with
     | [] -> sig_release c pid
     | entries ->

@@ -1,6 +1,7 @@
 open Gist_util
 module Disk = Gist_storage.Disk
 module Buffer_pool = Gist_storage.Buffer_pool
+module Bg_writer = Gist_storage.Bg_writer
 module Page_id = Gist_storage.Page_id
 module Lsn = Gist_wal.Lsn
 module Log_manager = Gist_wal.Log_manager
@@ -26,6 +27,10 @@ type config = {
   commit_mode : Group_commit.mode;
   group_wait_us : int;
   wal_flush_delay_ns : int;
+  eviction_policy : Buffer_pool.policy;
+  bg_writer : bool;
+  checkpoint_interval_us : int;
+  prefetch_depth : int;
 }
 
 let default_config =
@@ -44,6 +49,10 @@ let default_config =
     commit_mode = Group_commit.Sync;
     group_wait_us = 50;
     wal_flush_delay_ns = 0;
+    eviction_policy = Buffer_pool.Two_q;
+    bg_writer = false;
+    checkpoint_interval_us = 0;
+    prefetch_depth = 2;
   }
 
 type t = {
@@ -55,77 +64,12 @@ type t = {
   locks : Gist_txn.Lock_manager.t;
   txns : Gist_txn.Txn_manager.t;
   group : Group_commit.t option;
+  mutable bg : Bg_writer.t option;
   counter : int64 Atomic.t;
   alloc_mutex : Mutex.t;
   mutable alloc_next : int;
   mutable alloc_free : int list;
 }
-
-let attach ~config ~disk ~log =
-  Log_manager.set_flush_delay_ns log config.wal_flush_delay_ns;
-  let log_page_image =
-    if not config.full_page_writes then None
-    else
-      Some
-        (fun pid image ->
-          Log_manager.append log ~txn:Gist_util.Txn_id.none ~prev:Gist_wal.Lsn.nil
-            (Log_record.Page_image { page = pid; image = Bytes.to_string image }))
-  in
-  let pool =
-    Buffer_pool.create ?log_page_image ~node_cache:config.node_cache
-      ~capacity:config.pool_capacity ~disk
-      ~force_log:(fun lsn -> Log_manager.force log lsn)
-      ()
-  in
-  let locks = Gist_txn.Lock_manager.create () in
-  let txns = Gist_txn.Txn_manager.create ~log ~locks in
-  (* Sync spawns no writer domain: the default configuration costs nothing
-     and tears down nothing. Group/Async own a live log-writer until
-     [close] (drain) or [crash] (discard). *)
-  let group =
-    match config.commit_mode with
-    | Group_commit.Sync -> None
-    | Group_commit.Group | Group_commit.Async ->
-      let g = Group_commit.create ~wait_us:config.group_wait_us log in
-      Group_commit.start g;
-      Some g
-  in
-  Gist_txn.Txn_manager.set_durability txns ~mode:config.commit_mode ~group;
-  {
-    config;
-    exts = Hashtbl.create 4;
-    disk;
-    pool;
-    log;
-    locks;
-    txns;
-    group;
-    counter = Atomic.make 0L;
-    alloc_mutex = Mutex.create ();
-    alloc_next = 1; (* page 0 is the reserved invalid id *)
-    alloc_free = [];
-  }
-
-let create ?(config = default_config) () =
-  let disk = Disk.create ~io_delay_ns:config.io_delay_ns ~page_size:config.page_size () in
-  let log = Log_manager.create () in
-  attach ~config ~disk ~log
-
-let close t =
-  match t.group with None -> () | Some g -> Group_commit.stop g
-
-let crash t =
-  (* Power first: the log-writer domain dies with its un-flushed window
-     (async commits trapped there are exactly the tail a crash loses), so
-     the rewind below really is stop-the-world. *)
-  (match t.group with None -> () | Some g -> Group_commit.halt g);
-  Buffer_pool.drop_all t.pool;
-  Log_manager.crash t.log;
-  let fresh = attach ~config:t.config ~disk:t.disk ~log:t.log in
-  (* A dedicated counter is volatile; restart over-approximates it from the
-     log so NSN comparisons stay conservative. *)
-  Atomic.set fresh.counter (Log_manager.last_lsn t.log);
-  fresh
 
 (* --- allocator --- *)
 
@@ -189,6 +133,153 @@ let allocator_restore t s =
   t.alloc_free <- free;
   Mutex.unlock t.alloc_mutex
 
+(* --- checkpointing --- *)
+
+let checkpoint t =
+  let none = Txn_id.none in
+  let begin_lsn = Log_manager.append t.log ~txn:none ~prev:Lsn.nil Log_record.Checkpoint_begin in
+  (* Capture order matters: txn table FIRST, DPT second. A transaction's
+     append and its bookkeeping (last_lsn update, mark_dirty) are not
+     atomic against this capture, so a record just before [begin_lsn] can
+     be missing from both captures. Analysis closes the gap by rescanning
+     from the captured table's minimum last_lsn — which only works if the
+     racing record's transaction is still IN the captured table, or ended
+     so early that its mark_dirty is already visible to the (later) DPT
+     capture. Capturing the DPT first would leave a window with neither
+     repair. *)
+  let active_txns = Gist_txn.Txn_manager.active_txns t.txns in
+  let dirty_pages = Buffer_pool.dirty_page_table t.pool in
+  let allocator = allocator_snapshot t in
+  let end_lsn =
+    Log_manager.append t.log ~txn:none ~prev:Lsn.nil
+      (Log_record.Checkpoint_end { dirty_pages; active_txns; allocator })
+  in
+  Log_manager.force t.log end_lsn;
+  (* The anchor names the *begin* record, not the end: a fuzzy checkpoint
+     runs concurrently with transactions, so records can land between
+     [Checkpoint_begin] and the DPT/txn-table capture. Analysis scans from
+     the begin record and so covers that window; anchoring the end record
+     would lose it (a loser beginning there would never be undone, a page
+     first dirtied there never redone). *)
+  Log_manager.set_anchor t.log begin_lsn
+
+(* --- lifecycle --- *)
+
+let attach ~config ~disk ~log =
+  Log_manager.set_flush_delay_ns log config.wal_flush_delay_ns;
+  let log_page_image =
+    if not config.full_page_writes then None
+    else
+      Some
+        (fun pid image ->
+          Log_manager.append log ~txn:Gist_util.Txn_id.none ~prev:Gist_wal.Lsn.nil
+            (Log_record.Page_image { page = pid; image = Bytes.to_string image }))
+  in
+  let pool =
+    Buffer_pool.create ?log_page_image ~node_cache:config.node_cache
+      ~policy:config.eviction_policy ~capacity:config.pool_capacity ~disk
+      ~force_log:(fun lsn -> Log_manager.force log lsn)
+      ()
+  in
+  let locks = Gist_txn.Lock_manager.create () in
+  let txns = Gist_txn.Txn_manager.create ~log ~locks in
+  (* Sync spawns no writer domain: the default configuration costs nothing
+     and tears down nothing. Group/Async own a live log-writer until
+     [close] (drain) or [crash] (discard). *)
+  let group =
+    match config.commit_mode with
+    | Group_commit.Sync -> None
+    | Group_commit.Group | Group_commit.Async ->
+      let g = Group_commit.create ~wait_us:config.group_wait_us log in
+      Group_commit.start g;
+      Some g
+  in
+  Gist_txn.Txn_manager.set_durability txns ~mode:config.commit_mode ~group;
+  let db =
+    {
+      config;
+      exts = Hashtbl.create 4;
+      disk;
+      pool;
+      log;
+      locks;
+      txns;
+      group;
+      bg = None;
+      counter = Atomic.make 0L;
+      alloc_mutex = Mutex.create ();
+      alloc_next = 1; (* page 0 is the reserved invalid id *)
+      alloc_free = [];
+    }
+  in
+  (* The background writer/checkpointer domain, like the group-commit
+     writer, is owned by this environment. Its checkpoint callback closes
+     over [db] so fuzzy checkpoints go through the same machinery as
+     explicit ones. *)
+  if config.bg_writer then begin
+    let ckpt =
+      if config.checkpoint_interval_us > 0 then
+        Some
+          (fun () ->
+            checkpoint db;
+            Log_manager.anchor log)
+      else None
+    in
+    (* Per-shard clean reserve: a quarter of a shard, at least one frame. *)
+    let reserve = max 1 (config.pool_capacity / 64) in
+    let bg =
+      Bg_writer.create ?checkpoint:ckpt ~checkpoint_interval_us:config.checkpoint_interval_us
+        ~reserve pool
+    in
+    Bg_writer.start bg;
+    Buffer_pool.set_bg_writer pool
+      ~wake:(fun () -> Bg_writer.wake bg)
+      ~alive:(fun () -> Bg_writer.running bg);
+    db.bg <- Some bg
+  end;
+  db
+
+let create ?(config = default_config) () =
+  let disk = Disk.create ~io_delay_ns:config.io_delay_ns ~page_size:config.page_size () in
+  let log = Log_manager.create () in
+  attach ~config ~disk ~log
+
+let close t =
+  (match t.bg with
+  | None -> ()
+  | Some bg ->
+    Bg_writer.stop bg;
+    Buffer_pool.clear_bg_writer t.pool;
+    t.bg <- None);
+  match t.group with None -> () | Some g -> Group_commit.stop g
+
+(* Kill the writer domains in place, discarding their in-flight work — the
+   background flusher mid-pass, the log writer with its un-flushed window.
+   Idempotent, and deliberately does NOT rewind any state: the fault
+   harness must be able to stop the domains while its hooks are still
+   armed, *before* the log is truncated, or a flusher could write back a
+   page whose records the rewind is about to discard. *)
+let halt_domains t =
+  (match t.bg with
+  | None -> ()
+  | Some bg ->
+    Bg_writer.halt bg;
+    Buffer_pool.clear_bg_writer t.pool;
+    t.bg <- None);
+  match t.group with None -> () | Some g -> Group_commit.halt g
+
+let crash t =
+  (* Power first: the writer domains die with their in-flight work, so the
+     rewind below really is stop-the-world. *)
+  halt_domains t;
+  Buffer_pool.drop_all t.pool;
+  Log_manager.crash t.log;
+  let fresh = attach ~config:t.config ~disk:t.disk ~log:t.log in
+  (* A dedicated counter is volatile; restart over-approximates it from the
+     log so NSN comparisons stay conservative. *)
+  Atomic.set fresh.counter (Log_manager.last_lsn t.log);
+  fresh
+
 (* --- NSN management --- *)
 
 let global_nsn t =
@@ -206,22 +297,6 @@ let split_nsn t ~record_lsn =
       if Atomic.compare_and_set t.counter v nv then nv else bump ()
     in
     bump ()
-
-(* --- checkpointing --- *)
-
-let checkpoint t =
-  let none = Txn_id.none in
-  let begin_lsn = Log_manager.append t.log ~txn:none ~prev:Lsn.nil Log_record.Checkpoint_begin in
-  ignore begin_lsn;
-  let dirty_pages = Buffer_pool.dirty_page_table t.pool in
-  let active_txns = Gist_txn.Txn_manager.active_txns t.txns in
-  let allocator = allocator_snapshot t in
-  let end_lsn =
-    Log_manager.append t.log ~txn:none ~prev:Lsn.nil
-      (Log_record.Checkpoint_end { dirty_pages; active_txns; allocator })
-  in
-  Log_manager.force t.log end_lsn;
-  Log_manager.set_anchor t.log end_lsn
 
 let register_ext t (Ext.Packed e as packed) =
   Mutex.lock t.alloc_mutex;

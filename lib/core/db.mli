@@ -72,6 +72,34 @@ type config = {
       (** Simulated log-device latency per physical flush
           ({!Gist_wal.Log_manager.set_flush_delay_ns}); the commit-path
           analogue of [io_delay_ns]. *)
+  eviction_policy : Gist_storage.Buffer_pool.policy;
+      (** Buffer-pool victim selection: [Two_q] (default) is the
+          scan-resistant probationary/protected split; [Lru] is the plain
+          policy it replaced (kept for the E17 ablation and the
+          equivalence property test). *)
+  bg_writer : bool;
+      (** Run a background writer/checkpointer domain
+          ({!Gist_storage.Bg_writer}) that keeps a clean-victim reserve in
+          every pool shard — foreground evictions then never write back a
+          dirty page ([bp.fg_writeback] = 0) — and services range-scan
+          prefetch. Off by default; owned by this environment like the
+          group-commit writer ([close] drains it, [crash] halts it). *)
+  checkpoint_interval_us : int;
+      (** With [bg_writer], take a fuzzy checkpoint (the same
+          DPT + txn-table anchor as {!checkpoint}) every this many
+          microseconds. Each tick first flushes pages dirtied before the
+          {e previous} anchor ({!Gist_storage.Buffer_pool.flush_aged} —
+          incremental, never the whole pool), which is what actually
+          bounds restart's redo span by the interval: hot pages are never
+          eviction victims, so without the sweep their recLSN would pin
+          redo to the start of the log. [0] (default) disables periodic
+          checkpoints. *)
+  prefetch_depth : int;
+      (** How many upcoming pages a leaf-level scan ([Cursor] /
+          [Gist.search]) hands to the background writer for read-ahead
+          each time it visits a node (rightlink successors and pending
+          subtree roots). [0] disables prefetch; ignored without
+          [bg_writer], which owns the prefetch queue. *)
 }
 
 val default_config : config
@@ -90,6 +118,11 @@ type t = {
   group : Gist_wal.Group_commit.t option;
       (** The group-commit writer ([Some] iff [commit_mode] is [Group] or
           [Async]); owned by this environment — [close]/[crash] end it. *)
+  mutable bg : Gist_storage.Bg_writer.t option;
+      (** The background writer/checkpointer domain ([Some] iff
+          [config.bg_writer]); owned by this environment — [close] drains
+          it, [crash] halts it. Restart masks its periodic checkpoints
+          while recovery replays the log. *)
   counter : int64 Atomic.t;  (** Dedicated NSN counter (Nsn_from_counter). *)
   alloc_mutex : Mutex.t;
   mutable alloc_next : int;
@@ -103,6 +136,14 @@ val close : t -> unit
     join the group-commit writer domain (every enqueued commit is durable
     on return). A no-op in [Sync] mode. Call before dropping a
     [Group]/[Async] environment — domains are not garbage-collected. *)
+
+val halt_domains : t -> unit
+(** Kill the environment's writer domains (background flusher/checkpointer,
+    group-commit log writer) in place, discarding in-flight work, without
+    rewinding any other state. Idempotent; [crash] calls it first. The
+    fault harness uses it to stop the domains while its hooks are still
+    armed, before truncating the log, so no post-power-loss write-back can
+    land a page whose records the truncation discards. *)
 
 val crash : t -> t
 (** Simulate a failure: volatile state and the unforced log tail are lost

@@ -191,6 +191,17 @@ let note_rightlink t ~from_pid ~memo node =
 let with_node t pid mode f =
   Buffer_pool.with_page t.db.Db.pool pid mode (fun frame -> f frame (Node.get t.ext frame))
 
+(* Pin [pid] un-latched for the duration of [f]. The pin keeps the frame
+   resident, so pinning the same page inside [f] — typically under an
+   ancestor's latch (latch order parent → child) — is a guaranteed buffer
+   hit: whatever I/O the pin needs (fault-in, evicting a dirty victim)
+   happens here with no latches held, honoring claim C1 even when the
+   pool thrashes. *)
+let with_resident t pid f =
+  let pool = t.db.Db.pool in
+  let frame = Buffer_pool.pin pool pid in
+  Fun.protect ~finally:(fun () -> Buffer_pool.unpin pool frame) f
+
 (* Write a node back under an X latch and stamp the page with [lsn]. The
    cache install comes after mark_dirty so the stamp matches the final
    header LSN (a first-dirty full-page write restamps the header above
@@ -419,6 +430,23 @@ let olc_visit t ctx ~spred ~stack ~query pid memo =
       in
       attempt 0)
 
+(* Hand the scan's next visit targets (pending subtree roots and rightlink
+   successors already on the stack) to the background writer for
+   read-ahead. Called with no latch held; resident pages are ignored by
+   the pool, so over-asking is cheap. *)
+let prefetch_pending t stack =
+  match t.db.Db.bg with
+  | None -> ()
+  | Some bg ->
+    let depth = t.db.Db.config.Db.prefetch_depth in
+    let rec go n = function
+      | (pid, _) :: rest when n < depth ->
+        Gist_storage.Bg_writer.prefetch bg pid;
+        go (n + 1) rest
+      | _ -> ()
+    in
+    go 0 stack
+
 let search ?(isolation = `Repeatable_read) ?olc t txn query =
   let tid = Txn_manager.id txn in
   let locks = t.db.Db.locks in
@@ -535,6 +563,7 @@ let search ?(isolation = `Repeatable_read) ?olc t txn query =
                   end)
                 (Node.internal_entries node)
             end);
+        prefetch_pending t !stack;
         match !blocked with
         | Some rid ->
           blocked := None;
@@ -698,8 +727,11 @@ let rec split_node t txn ~parent_hint pid =
     | Some child -> split_node t txn ~parent_hint:(Some t.root) child)
   | Some parent_start ->
     (* Latch order: parent first, then child — the same order as node
-       deletion and parent-entry update, so latches cannot deadlock. *)
+       deletion and parent-entry update, so latches cannot deadlock. The
+       child is pinned resident first so its re-pin under the parent latch
+       never faults. *)
     let outcome =
+      with_resident t pid @@ fun () ->
       with_parent_holding t parent_start pid (fun parent_frame parent_node ->
           Buffer_pool.with_page t.db.Db.pool pid Latch.X (fun child_frame ->
               let node = Node.get t.ext child_frame in
@@ -808,6 +840,15 @@ let rec split_node t txn ~parent_hint pid =
                          })
                   in
                   Node.add_internal_entry parent_node right_entry;
+                  (* Stamp the parent at [add_lsn] before logging the
+                     follow-up update: the DPT rec_lsn must name the FIRST
+                     record that dirtied the page. Marking once at the
+                     later LSN lets a fuzzy checkpoint capture a rec_lsn
+                     one past the entry-add, and redo seeded from that
+                     checkpoint skips the add — the sibling's parent entry
+                     is silently lost if the split hit a freshly-flushed
+                     parent. *)
+                  write_node t parent_frame parent_node ~lsn:add_lsn;
                   (match Node.find_child parent_node pid with
                   | Some ie ->
                     let upd_lsn =
@@ -822,7 +863,7 @@ let rec split_node t txn ~parent_hint pid =
                     in
                     ie.Node.ie_bp <- node.Node.bp;
                     write_node t parent_frame parent_node ~lsn:upd_lsn
-                  | None -> write_node t parent_frame parent_node ~lsn:add_lsn);
+                  | None -> ());
                   Txn_manager.end_nta txns txn nta;
                   Latch.release (Buffer_pool.latch right_frame) Latch.X;
                   Buffer_pool.unpin t.db.Db.pool right_frame;
@@ -896,6 +937,7 @@ let propagate_bp t txn ~stack ~leaf needed_bp =
       let hint = match hints with (p, _) :: _ -> p | [] -> t.root in
       let hints_rest = match hints with _ :: r -> r | [] -> [] in
       let parent_found =
+        with_resident t child @@ fun () ->
         with_parent_holding t hint child (fun parent_frame parent_node ->
             match Node.find_child parent_node child with
             | None -> assert false (* with_parent_holding guarantees it *)
@@ -1458,6 +1500,11 @@ let try_delete_node t txn ~parent ~victim =
   let locks = t.db.Db.locks in
   let tid = Txn_manager.id txn in
   let left = find_left_sibling t victim in
+  (* Pin the victim and its left sibling resident before any latch is
+     taken, so their re-pins under the parent latch never fault. *)
+  let with_left f = match left with None -> f () | Some l -> with_resident t l f in
+  with_resident t victim @@ fun () ->
+  with_left @@ fun () ->
   with_parent_holding t parent victim (fun parent_frame parent_node ->
       if Dyn.length (Node.internal_entries parent_node) <= 1 then
         (* Never retire a parent's last child: internal nodes must stay

@@ -54,6 +54,11 @@ val ext : 'p t -> 'p Ext.t
 val root : 'p t -> Gist_storage.Page_id.t
 val predicate_manager : 'p t -> 'p Gist_pred.Predicate_manager.t
 
+val prefetch_pending : 'p t -> (Gist_storage.Page_id.t * Gist_wal.Lsn.t) list -> unit
+(** Hand the first [Db.config.prefetch_depth] pages of a search/cursor
+    stack to the background writer for read-ahead ([Cursor] shares it).
+    No-op without a background writer. Call with no latch held. *)
+
 val search :
   ?isolation:[ `Repeatable_read | `Read_committed ] ->
   ?olc:bool ->

@@ -19,6 +19,13 @@ let m_torn_zeroed =
     ~help:"pages failing their disk checksum at restart with no full-page image available (zeroed)"
     "recovery.torn_page_zeroed"
 
+let m_redo_span =
+  Metrics.summary ~unit_:"lsns"
+    ~help:
+      "log distance (last LSN - redo start) replayed per restart; bounded by the fuzzy-checkpoint \
+       interval when the background checkpointer runs"
+    "recovery.redo_span"
+
 (* Apply [f] to the page under its X latch iff the page image predates
    [lsn]; stamp the page with [lsn] afterwards. The page-LSN comparison is
    what makes redo idempotent (repeat history). *)
@@ -416,6 +423,13 @@ let restart_multi db packed_exts =
   (* A ragged crash may have left a partially written record beyond the
      durable prefix; restart's first act is to recognize and drop it. *)
   ignore (Log_manager.discard_torn_tail log : bool);
+  (* The background checkpointer is masked for the whole restart: a fuzzy
+     checkpoint logged mid-recovery would move the anchor past records
+     still being replayed. (Its flusher half keeps running — a write-back
+     of a partially redone page is safe under conditional redo.) *)
+  (match db.Db.bg with
+  | None -> ()
+  | Some bg -> Gist_storage.Bg_writer.set_checkpoint_enabled bg false);
   (* Restart on a warm pool (e.g. the idempotence re-run): redo and the
      media check mutate raw page images, so no decoded node cached before
      this point may survive into recovered state. *)
@@ -430,18 +444,42 @@ let restart_multi db packed_exts =
   (* --- Analysis --- *)
   let table : (Txn_id.t, Log_record.status * Lsn.t) Hashtbl.t = Hashtbl.create 64 in
   let dpt : (Page_id.t, Lsn.t) Hashtbl.t = Hashtbl.create 256 in
+  (* Seed from the checkpoint the anchor names. The anchor points at a
+     [Checkpoint_begin]; its paired [Checkpoint_end] — the first end
+     record at or after the anchor — carries the DPT / txn-table /
+     allocator snapshot, captured at some instant *inside* the
+     (begin, end) window. Seeding before the scan lets the window's own
+     records update the snapshot in log order: a commit logged after the
+     capture overrides the snapshot's Active entry, and a page first
+     dirtied after the capture enters the DPT at its own LSN. The seeded
+     rec_lsns are first-dirty LSNs, so they take precedence over any
+     later record touching the same page. *)
+  let seeded = ref false in
   Log_manager.iter_from log start (fun record ->
+      match record.Log_record.payload with
+      | Log_record.Checkpoint_end { dirty_pages; active_txns; allocator } when not !seeded ->
+        seeded := true;
+        Db.allocator_restore db allocator;
+        List.iter (fun (p, rec_lsn) -> Hashtbl.replace dpt p rec_lsn) dirty_pages;
+        List.iter (fun (t, s, l) -> Hashtbl.replace table t (s, l)) active_txns
+      | _ -> ());
+  (* The fuzzy capture is not atomic against concurrent appends: a record
+     landing just before [Checkpoint_begin] can be reflected in neither the
+     captured last_lsn of its transaction nor the captured DPT (its
+     bookkeeping ran after the capture). Such a record's LSN is strictly
+     above its transaction's captured last_lsn, so rescanning from the
+     table's minimum last_lsn — instead of the anchor — rediscovers it,
+     repairing both the undo chain head and the DPT entry. The wider scan
+     is safe: table/DPT updates are monotone in log order and the
+     allocator replay is idempotent; only the analysis pass lengthens. *)
+  let analysis_start =
+    Hashtbl.fold (fun _ (_, l) acc -> if Lsn.( < ) Lsn.nil l then Lsn.min l acc else acc) table start
+  in
+  Log_manager.iter_from log analysis_start (fun record ->
       let lsn = record.Log_record.lsn in
       let tid = record.Log_record.txn in
       (match record.Log_record.payload with
-      | Log_record.Checkpoint_end { dirty_pages; active_txns; allocator } ->
-        if Lsn.equal lsn anchor then begin
-          Db.allocator_restore db allocator;
-          List.iter
-            (fun (p, rec_lsn) -> if not (Hashtbl.mem dpt p) then Hashtbl.replace dpt p rec_lsn)
-            dirty_pages;
-          List.iter (fun (t, s, l) -> Hashtbl.replace table t (s, l)) active_txns
-        end
+      | Log_record.Checkpoint_end _ -> () (* ingested above *)
       | Log_record.Begin -> Hashtbl.replace table tid (Log_record.Active, lsn)
       | Log_record.Commit ->
         Hashtbl.replace table tid (Log_record.Committed, lsn);
@@ -499,6 +537,9 @@ let restart_multi db packed_exts =
       pages);
   (* --- Redo: repeat history from the earliest recovery LSN --- *)
   let redo_start = Hashtbl.fold (fun _ l acc -> Lsn.min l acc) dpt Int64.max_int in
+  Metrics.observe m_redo_span
+    (if Int64.equal redo_start Int64.max_int then 0.
+     else Int64.to_float (Int64.sub (Log_manager.last_lsn log) redo_start));
   if not (Int64.equal redo_start Int64.max_int) then
     Log_manager.iter_from log redo_start (fun record ->
         match record.Log_record.payload with
@@ -528,6 +569,9 @@ let restart_multi db packed_exts =
   Buffer_pool.set_fpw db.Db.pool true;
   (* Bound future restarts. *)
   Db.checkpoint db;
+  (match db.Db.bg with
+  | None -> ()
+  | Some bg -> Gist_storage.Bg_writer.set_checkpoint_enabled bg true);
   Gist_wal.Log_manager.force_all log
 
 let restart db ext = restart_multi db [ Ext.Packed ext ]

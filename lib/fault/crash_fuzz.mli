@@ -15,8 +15,10 @@
     - the post-recovery scans never read unallocated pages
       ([disk.read_unallocated] delta 0);
     - vacuum after recovery changes nothing visible;
-    - a second restart, with no crash in between, is a no-op: exactly its
-      own checkpoint pair is appended and the contents are unchanged;
+    - a second restart, with no crash in between, is a no-op: nothing but
+      checkpoint records is appended (its own end-of-restart pair, plus any
+      pairs a background checkpointer slips in) and the contents are
+      unchanged;
     - [latches_held_across_io] stays 0 through the whole fault run (C1
       holds even on crash paths).
 
@@ -50,7 +52,9 @@ type summary = {
 }
 
 val run_mode :
-  ?commit_mode:Gist_wal.Group_commit.mode -> seed:int -> points:int -> mode -> summary
+  ?commit_mode:Gist_wal.Group_commit.mode ->
+  ?bg_writer:bool ->
+  seed:int -> points:int -> mode -> summary
 (** Profile the seeded workload, then run [points] crash points spread
     across its event stream (disk reads, disk writes, WAL appends, and —
     new with group commit — durability requests, the window between a
@@ -62,10 +66,18 @@ val run_mode :
     widens to the pipelined-durability contract: the recovered state must
     equal the state after {e some prefix} of the commit history (a commit
     that returned may be lost, but only together with every later commit
-    — and always atomically; PROTOCOL.md §8). *)
+    — and always atomically; PROTOCOL.md §8).
+
+    [bg_writer] (default false) runs the workload with the background
+    writer + aggressive 200µs fuzzy checkpoints + range-scan prefetch
+    enabled, and adds an oracle check: [bp.fg_writeback] must not grow
+    during the workload while the writer is alive (waived when the
+    injected fault killed the writer domain itself). *)
 
 val run_sweep :
-  ?commit_mode:Gist_wal.Group_commit.mode -> seed:int -> points:int -> unit -> summary list
+  ?commit_mode:Gist_wal.Group_commit.mode ->
+  ?bg_writer:bool ->
+  seed:int -> points:int -> unit -> summary list
 (** Split [points] across the four modes (2:1:1:1) with distinct seeds. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -68,6 +68,18 @@ type t = {
       (* reentrancy guard: building a torn image reads the old page
          content through the public [Disk.read], which must not count as
          a workload event *)
+  mutable power_off : bool;
+      (* a crash point fired: the simulated power is off, so every
+         subsequent disk or WAL operation — from any domain — raises
+         instead of landing. Without this, a background domain (flusher,
+         checkpointer) racing the unwinding workload could keep forcing
+         the log and writing pages *after* the power-loss instant,
+         retroactively violating the WAL rule once [materialize_crash]
+         rewinds the log (a page on disk whose records were discarded, a
+         commit durable whose [commit] never returned). A plain bool is
+         enough: OCaml word reads/writes do not tear, and a domain
+         missing the flag for one extra operation is indistinguishable
+         from that operation having raced the crash itself. *)
   mutable fired : (string * int) list;
 }
 
@@ -95,10 +107,12 @@ let apply_simple t site seq act =
   match act with
   | Crash_now ->
     Metrics.incr m_crashes;
+    t.power_off <- true;
     raise Crash
   | Crash_ragged keep ->
     Metrics.incr m_crashes;
     t.ragged_keep <- Some keep;
+    t.power_off <- true;
     raise Crash
   | Io_error_once ->
     Metrics.incr m_io_errors;
@@ -109,6 +123,7 @@ let apply_simple t site seq act =
   | Crash_torn _ -> assert false (* only reachable from the write hook *)
 
 let before_read t _pid =
+  if t.power_off then raise Crash;
   if not t.in_hook then begin
     t.n_read <- t.n_read + 1;
     match lookup t Disk_read t.n_read with
@@ -117,6 +132,7 @@ let before_read t _pid =
   end
 
 let before_write t pid img =
+  if t.power_off then raise Crash;
   if t.in_hook then Disk.Write_full
   else begin
     t.n_write <- t.n_write + 1;
@@ -150,10 +166,12 @@ let after_write t _pid =
   if t.crash_after_write then begin
     t.crash_after_write <- false;
     Metrics.incr m_crashes;
+    t.power_off <- true;
     raise Crash
   end
 
 let on_append t =
+  if t.power_off then raise Crash;
   if not t.in_hook then begin
     t.n_append <- t.n_append + 1;
     match lookup t Wal_append t.n_append with
@@ -169,6 +187,7 @@ let on_append t =
    flush request in flight: the commit record is appended but (unless a
    neighbor already covered it) not durable. *)
 let on_flush t =
+  if t.power_off then raise Crash;
   if not t.in_hook then begin
     t.n_flush <- t.n_flush + 1;
     match lookup t Wal_flush t.n_flush with
@@ -189,6 +208,7 @@ let arm ~disk ~log plan =
       ragged_keep = None;
       crash_after_write = false;
       in_hook = false;
+      power_off = false;
       fired = [];
     }
   in
@@ -210,6 +230,13 @@ let disarm t =
   Log_manager.set_flush_hook t.log None
 
 let materialize_crash t db =
+  (* Halt the writer domains while the hooks are still armed: the sticky
+     [power_off] makes any of their in-flight I/O raise instead of land.
+     Only once every domain is dead is it safe to rewind the log below —
+     otherwise a flusher racing this rewind could write back a page whose
+     records the rewind discards (a disk page referencing an allocation no
+     durable record made). *)
+  Gist_core.Db.halt_domains db;
   disarm t;
   (* The crash unwound ops that were holding latches; the latches are
      volatile and die with the buffer pool, and so does the executing

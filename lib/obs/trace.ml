@@ -24,6 +24,8 @@ type event =
   | Bp_evict of { page : int; dirty : bool }
   | Olc_restart of { page : int }
   | Olc_fallback of { page : int }
+  | Bg_flush of { pages : int; scanned : int }
+  | Fuzzy_checkpoint of { lsn : int64; dirty : int }
 
 type entry = { ts : int; domain : int; seq : int; event : event }
 
@@ -130,5 +132,8 @@ let pp_event ppf = function
     Format.fprintf ppf "bp.evict P%d%s" page (if dirty then " dirty" else "")
   | Olc_restart { page } -> Format.fprintf ppf "olc.restart P%d" page
   | Olc_fallback { page } -> Format.fprintf ppf "olc.fallback P%d" page
+  | Bg_flush { pages; scanned } -> Format.fprintf ppf "bg.flush pages=%d scanned=%d" pages scanned
+  | Fuzzy_checkpoint { lsn; dirty } ->
+    Format.fprintf ppf "ckpt.fuzzy lsn=%Ld dirty=%d" lsn dirty
 
 let pp_entry ppf e = Format.fprintf ppf "%d d%d %a" e.ts e.domain pp_event e.event

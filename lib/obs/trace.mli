@@ -71,6 +71,12 @@ type event =
   | Olc_fallback of { page : int }
       (** An optimistic visit exhausted its retry budget and fell back to
           the S-latch path. *)
+  | Bg_flush of { pages : int; scanned : int }
+      (** The background writer completed one flush pass: [pages] dirty
+          frames written back out of [scanned] frames examined. *)
+  | Fuzzy_checkpoint of { lsn : int64; dirty : int }
+      (** The checkpointer took a fuzzy checkpoint anchored at [lsn] with
+          [dirty] pages in the logged dirty-page table (no page flushing). *)
 
 (** One recorded ring entry. *)
 type entry = {

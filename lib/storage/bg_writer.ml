@@ -1,0 +1,155 @@
+module Metrics = Gist_obs.Metrics
+module Trace = Gist_obs.Trace
+
+let m_ckpt_fuzzy =
+  Metrics.counter ~unit_:"ops"
+    ~help:
+      "fuzzy checkpoints taken by the background checkpointer (dirty-page-table + txn-table \
+       anchor; pages dirtied before the previous anchor are flushed first, never the whole \
+       pool)"
+    "ckpt.fuzzy"
+
+let m_passes =
+  Metrics.counter ~unit_:"ops" ~help:"background-writer flush passes executed" "bg.pass"
+
+type t = {
+  pool : Buffer_pool.t;
+  interval_us : int;
+  reserve : int;
+  (* Takes a fuzzy checkpoint through the recovery machinery and returns
+     its anchor LSN. Runs on the writer domain. *)
+  checkpoint : (unit -> int64) option;
+  mutable checkpoint_interval_us : int;
+  mutable ckpt_enabled : bool;
+  mutex : Mutex.t;
+  queue : Page_id.t Queue.t; (* prefetch requests, bounded *)
+  mutable wakes : int;
+  mutable stopping : bool;
+  mutable running : bool;
+  mutable crashed : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let queue_bound = 64
+
+let create ?(interval_us = 500) ?(reserve = 1) ?checkpoint ?(checkpoint_interval_us = 0) pool =
+  {
+    pool;
+    interval_us = max 1 interval_us;
+    reserve = max 1 reserve;
+    checkpoint;
+    checkpoint_interval_us;
+    ckpt_enabled = true;
+    mutex = Mutex.create ();
+    queue = Queue.create ();
+    wakes = 0;
+    stopping = false;
+    running = false;
+    crashed = false;
+    domain = None;
+  }
+
+let running t = t.running && not t.stopping
+
+let crashed t = t.crashed
+
+let wake t =
+  Mutex.lock t.mutex;
+  t.wakes <- t.wakes + 1;
+  Mutex.unlock t.mutex
+
+let prefetch t pid =
+  Mutex.lock t.mutex;
+  if t.running && (not t.stopping) && Queue.length t.queue < queue_bound then
+    Queue.add pid t.queue;
+  Mutex.unlock t.mutex
+
+let set_checkpoint_enabled t on =
+  Mutex.lock t.mutex;
+  t.ckpt_enabled <- on;
+  Mutex.unlock t.mutex
+
+(* The stdlib has no timed condition wait; poll in short slices so a
+   [wake] from a starved foreground pin is honored within ~50us rather
+   than a full idle interval. *)
+let idle_wait t =
+  let slice = 50e-6 in
+  let budget = ref (float_of_int t.interval_us *. 1e-6) in
+  let quiet () =
+    Mutex.lock t.mutex;
+    let q = (not t.stopping) && t.wakes = 0 && Queue.is_empty t.queue in
+    Mutex.unlock t.mutex;
+    q
+  in
+  while !budget > 0. && quiet () do
+    Unix.sleepf (Float.min slice !budget);
+    budget := !budget -. slice
+  done
+
+let run t =
+  let last_ckpt = ref (Gist_util.Clock.now_ns ()) in
+  let last_anchor = ref (-1L) in
+  let rec go () =
+    Mutex.lock t.mutex;
+    t.wakes <- 0;
+    let stopping = t.stopping in
+    let ckpt_on = t.ckpt_enabled in
+    let prefetches = ref [] in
+    Queue.iter (fun pid -> prefetches := pid :: !prefetches) t.queue;
+    Queue.clear t.queue;
+    Mutex.unlock t.mutex;
+    List.iter (fun pid -> Buffer_pool.try_prefetch t.pool pid) (List.rev !prefetches);
+    ignore (Buffer_pool.bg_flush_pass t.pool ~reserve:t.reserve : int);
+    Metrics.incr m_passes;
+    (match t.checkpoint with
+    | Some ck when ckpt_on && (not stopping) && t.checkpoint_interval_us > 0 ->
+      let now = Gist_util.Clock.now_ns () in
+      if now - !last_ckpt >= t.checkpoint_interval_us * 1000 then begin
+        last_ckpt := now;
+        (* Flush pages dirtied before the previous anchor first, so the
+           capture below holds no rec_lsn older than one interval — the
+           incremental write-out that actually bounds the redo span
+           (never flush_all; one interval's worth of aged pages each
+           tick, pinned hot pages included). *)
+        if !last_anchor >= 0L then
+          ignore (Buffer_pool.flush_aged t.pool ~before:!last_anchor : int);
+        let dirty = List.length (Buffer_pool.dirty_page_table t.pool) in
+        let lsn = ck () in
+        last_anchor := lsn;
+        Metrics.incr m_ckpt_fuzzy;
+        if Trace.enabled () then Trace.emit (Trace.Fuzzy_checkpoint { lsn; dirty })
+      end
+    | _ -> ());
+    if not stopping then begin
+      idle_wait t;
+      go ()
+    end
+  in
+  (match go () with
+  | () -> ()
+  | exception _e ->
+    (* Fault injection (or any defect) killed the writer. Record it and
+       fall through to the wake-up below: foreground pins waiting for the
+       clean reserve must recheck [running] and evict for themselves. *)
+    t.crashed <- true);
+  t.running <- false;
+  Buffer_pool.broadcast_waiters t.pool
+
+let start t =
+  if t.domain <> None then invalid_arg "Bg_writer.start: already started";
+  t.running <- true;
+  t.domain <- Some (Domain.spawn (fun () -> run t))
+
+let join t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Mutex.unlock t.mutex;
+  match t.domain with
+  | None -> t.running <- false
+  | Some d ->
+    Domain.join d;
+    t.domain <- None
+
+let stop t = join t
+
+let halt t = join t

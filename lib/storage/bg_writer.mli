@@ -1,0 +1,70 @@
+(** Background writer + checkpointer domain.
+
+    One dedicated domain (Postgres's bgwriter/checkpointer split, fused)
+    that keeps every buffer-pool shard stocked with clean eviction victims
+    — so demand evictions on the foreground path never pay a write-back
+    ([bp.fg_writeback] stays 0) — services range-scan prefetch requests,
+    and periodically takes {e fuzzy} checkpoints (a dirty-page-table +
+    transaction-table anchor through the recovery machinery, never a
+    stop-the-world [flush_all]) so restart time is bounded by the
+    checkpoint interval.
+
+    Lifecycle mirrors {!Group_commit}: [create] then [start] spawn the
+    domain; [stop] is the clean shutdown (sets the stop flag and joins);
+    [halt] is the crash-simulation teardown. If the domain dies to an
+    injected fault it marks itself {!crashed}, wakes every pin waiting on
+    the pool (via [Buffer_pool.broadcast_waiters]) and the foreground
+    reverts to evicting dirty victims itself — the writer is an
+    accelerator, never a correctness dependency. *)
+
+type t
+
+val create :
+  ?interval_us:int ->
+  ?reserve:int ->
+  ?checkpoint:(unit -> int64) ->
+  ?checkpoint_interval_us:int ->
+  Buffer_pool.t ->
+  t
+(** [create pool] makes a writer for [pool] (not yet running).
+    [interval_us] (default 500) is the idle tick between flush passes;
+    a [Buffer_pool] wake shortens it to ~50us. [reserve] (default 1) is
+    the per-shard clean-victim target handed to
+    {!Buffer_pool.bg_flush_pass}. [checkpoint], when given with a positive
+    [checkpoint_interval_us], is invoked on the writer domain every
+    interval to take a fuzzy checkpoint; it must return the checkpoint's
+    anchor LSN (counted in [ckpt.fuzzy], traced as [Fuzzy_checkpoint]). *)
+
+val start : t -> unit
+(** Spawn the writer domain. @raise Invalid_argument if already started. *)
+
+val running : t -> bool
+(** [true] while the domain is alive and not stopping — the [alive] hook
+    installed into the pool. *)
+
+val crashed : t -> bool
+(** The domain exited on an exception (injected fault) rather than a
+    requested stop. Crash-fuzz uses this to exempt the
+    [bp.fg_writeback = 0] assertion when the writer died mid-run. *)
+
+val wake : t -> unit
+(** Nudge the writer out of its idle wait (called by the pool when a
+    foreground pin finds no clean victim). *)
+
+val prefetch : t -> Page_id.t -> unit
+(** Enqueue a page for read-ahead (bounded queue; dropped when full or
+    the writer is not running). Serviced on the writer domain via
+    {!Buffer_pool.try_prefetch}. *)
+
+val set_checkpoint_enabled : t -> bool -> unit
+(** Mask (or unmask) periodic checkpoints. Restart masks them: a fuzzy
+    checkpoint logged mid-recovery would anchor analysis past records
+    still being replayed. *)
+
+val stop : t -> unit
+(** Clean shutdown: request stop and join the domain. Idempotent. *)
+
+val halt : t -> unit
+(** Crash-simulation teardown: same join as [stop] (the domain must exit
+    before the pool is dropped); kept separate for lifecycle symmetry
+    with [Group_commit.halt]. *)

@@ -24,9 +24,23 @@ type frame
 (** One resident page: image bytes, latch, pin count, dirty state. A
     [frame] handle is only valid while its page is pinned by the holder. *)
 
+type policy = Lru | Two_q
+(** Eviction policy. [Lru] recycles the least-recently-used unpinned
+    frame. [Two_q] is scan-resistant: frames start in a probationary tier
+    on first touch and are promoted to a protected tier on re-reference;
+    victims come from the probationary tier first (so a one-pass scan or
+    bulk load evicts only its own pages), then by CLOCK second chance over
+    the protected tier. *)
+
+val policy_of_string : string -> policy
+(** ["lru"] or ["2q"]. @raise Invalid_argument otherwise. *)
+
+val policy_to_string : policy -> string
+
 val create :
   ?log_page_image:(Page_id.t -> Bytes.t -> int64) ->
   ?node_cache:bool ->
+  ?policy:policy ->
   capacity:int ->
   disk:Disk.t ->
   force_log:(int64 -> unit) ->
@@ -35,6 +49,7 @@ val create :
 (** [create ~capacity ~disk ~force_log ()] makes a pool of [capacity]
     frames. [force_log lsn] must make the log durable up to [lsn]; the
     pool calls it before any dirty page write (the WAL constraint).
+    [policy] (default [Two_q]) selects the eviction policy.
 
     [log_page_image pid image], when given, must append a full-page-image
     record to the log and return its LSN; the pool calls it each time a
@@ -105,11 +120,62 @@ val with_page :
 (** [with_page t pid mode f]: pin, latch, run [f], unlatch, unpin. *)
 
 val flush_page : t -> Page_id.t -> unit
-(** Force the page to disk if resident and dirty (forcing the log first). *)
+(** Force the page to disk if resident and dirty (forcing the log first).
+    The shard mutex is never held across the I/O; a concurrent
+    re-dirtying of the page is detected and leaves the page dirty. *)
 
 val flush_all : t -> unit
-(** Flush every dirty resident page; used by checkpoints and clean
-    shutdown. *)
+(** Flush every dirty resident page; used by clean shutdown and explicit
+    sync points. The dirty set is snapshotted per shard and each frame is
+    flushed with only a pin (plus a brief S latch for the image copy), so
+    concurrent pinners never stall behind a full-pool flush. *)
+
+(** {1 Background writer integration}
+
+    A background flusher domain ({!Bg_writer}) keeps every shard stocked
+    with clean eviction victims so demand evictions on the foreground path
+    never pay a write-back. The pool only knows the writer through two
+    closures: while [alive () = true], foreground evictions are clean-only
+    — a pin that finds no clean victim calls [wake ()] and waits on the
+    shard's condition instead of writing back a dirty page itself. *)
+
+val set_bg_writer : t -> wake:(unit -> unit) -> alive:(unit -> bool) -> unit
+(** Install the background writer's hooks (called by [Db.attach] after
+    the writer domain starts). *)
+
+val clear_bg_writer : t -> unit
+(** Remove the hooks; foreground evictions revert to writing back dirty
+    victims themselves. *)
+
+val broadcast_waiters : t -> unit
+(** Wake every pin blocked on a shard condition. The background writer
+    calls this when it dies (fault injection, shutdown) so waiters recheck
+    [alive] and fall back to foreground eviction instead of sleeping
+    forever. *)
+
+val bg_flush_pass : t -> reserve:int -> int
+(** One background-writer pass: per shard, flush least-recently-used
+    dirty unpinned frames (counted as [bp.bg_writeback]) until [reserve]
+    clean unpinned victims exist, then broadcast the shard's condition.
+    Returns the number of pages written. Must be called without latches
+    held — normally from the writer domain. *)
+
+val flush_aged : t -> before:int64 -> int
+(** Flush every dirty frame (pinned ones included) whose [rec_lsn] is
+    below [before], returning the number of pages written. The
+    checkpointer calls this with the previous checkpoint's anchor before
+    capturing the next one: hot pages are never eviction victims, so
+    without this sweep the oldest dirty [rec_lsn] — and with it restart's
+    redo span — would stay pinned to the start of the log no matter how
+    often checkpoints fire. A frame re-dirtied mid-flush stays dirty with
+    its old [rec_lsn] and is retried next interval. *)
+
+val try_prefetch : t -> Page_id.t -> unit
+(** Read the page into the pool ahead of demand if it is absent and a
+    frame is available without a write-back (free slot or clean victim);
+    otherwise do nothing. Never blocks on I/O another frame needs first
+    and never runs under a latch. Counted in [bp.prefetch.issued]; a later
+    demand pin of the page counts [bp.prefetch.hit]. *)
 
 val dirty_page_table : t -> (Page_id.t * int64) list
 (** [(pid, rec_lsn)] for every dirty resident page — the ARIES DPT recorded
@@ -169,6 +235,14 @@ val misses : t -> int
 
 val evictions : t -> int
 (** Frames recycled to make room (write-back first if dirty). *)
+
+val fg_writebacks : t -> int
+(** Dirty write-backs paid on the foreground (demand-eviction) path —
+    [bp.fg_writeback]. Zero while a live background writer keeps up. *)
+
+val bg_writebacks : t -> int
+(** Dirty write-backs issued by the background writer and administrative
+    flushes — [bp.bg_writeback]. *)
 
 val io_while_latched : t -> int
 (** Disk I/Os issued while the calling domain held any latch — the claim-C1

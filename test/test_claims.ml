@@ -39,6 +39,42 @@ let test_no_latch_across_io_protocol () =
   Alcotest.(check int) "zero I/Os under a held latch" 0
     (Buffer_pool.io_while_latched db.Db.pool)
 
+let test_no_latch_across_io_bg_writer () =
+  (* Same thrash, background writer on: C1 must still hold, and on top of
+     it the writer domain must absorb every eviction write-back — the
+     foreground never flushes a dirty victim. *)
+  let config =
+    {
+      Db.default_config with
+      Db.max_entries = 8;
+      pool_capacity = 16;
+      page_size = 1024;
+      bg_writer = true;
+    }
+  in
+  let db = Db.create ~config () in
+  let t = Gist.create db B.ext ~empty_bp:B.Empty () in
+  let txn = Txn.begin_txn db.Db.txns in
+  for i = 1 to 2_000 do
+    Gist.insert t txn ~key:(B.key i) ~rid:(rid i)
+  done;
+  Txn.commit db.Db.txns txn;
+  for round = 1 to 20 do
+    let txn = Txn.begin_txn db.Db.txns in
+    ignore (Gist.search t txn (B.range (round * 50) ((round * 50) + 100)));
+    Gist.insert t txn ~key:(B.key (10_000 + round)) ~rid:(rid (10_000 + round));
+    ignore (Gist.delete t txn ~key:(B.key round) ~rid:(rid round));
+    Txn.commit db.Db.txns txn
+  done;
+  Gist.vacuum t;
+  Alcotest.(check bool) "pool thrashed (evictions happened)" true
+    (Buffer_pool.evictions db.Db.pool > 0);
+  Alcotest.(check int) "zero I/Os under a held latch" 0
+    (Buffer_pool.io_while_latched db.Db.pool);
+  Alcotest.(check int) "zero foreground write-backs" 0
+    (Buffer_pool.fg_writebacks db.Db.pool);
+  Db.close db
+
 let test_coarse_baseline_does_io_latched () =
   (* The same workload through the coarse wrapper holds its tree-global
      latch across every fault — which is exactly what the counter should
@@ -167,6 +203,8 @@ let suite =
   [
     Alcotest.test_case "C1: no I/O under latches (protocol)" `Quick
       test_no_latch_across_io_protocol;
+    Alcotest.test_case "C1 + bg writer: clean foreground eviction" `Quick
+      test_no_latch_across_io_bg_writer;
     Alcotest.test_case "C1: coarse baseline faults under latch" `Quick
       test_coarse_baseline_does_io_latched;
     Alcotest.test_case "config ablation matrix" `Quick test_config_matrix;

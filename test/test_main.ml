@@ -29,4 +29,5 @@ let () =
       ("scaling", Test_scaling.suite);
       ("olc", Test_olc.suite);
       ("group_commit", Test_group_commit.suite);
+      ("eviction", Test_eviction.suite);
     ]
