@@ -344,7 +344,12 @@ let f5_node_codec =
   let () =
     for i = 0 to 15 do
       Node.add_leaf_entry node
-        { Node.le_key = B.key i; le_rid = rid i; le_deleter = Gist_util.Txn_id.none }
+        {
+          Node.le_key = B.key i;
+          le_rid = rid i;
+          le_creator = Gist_util.Txn_id.none;
+          le_deleter = Gist_util.Txn_id.none;
+        }
     done
   in
   let disk = Gist_storage.Disk.create ~page_size:2048 () in

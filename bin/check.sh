@@ -4,9 +4,11 @@
 #
 # FUZZ_POINTS tunes the crash-fuzz sweeps' point budget (default 200;
 # CI raises it — see .github/workflows/ci.yml). The same budget covers
-# the plain sweep (test/test_fault.ml) and the background-writer sweep
+# the plain sweep (test/test_fault.ml), the background-writer sweep
 # (test/test_eviction.ml), which re-runs every fault mode with the
-# writer/checkpointer domain and prefetch racing the crash point.
+# writer/checkpointer domain and prefetch racing the crash point, and
+# the snapshot-reader sweep (test/test_mvcc.ml), which re-runs every
+# fault mode with a lock-free MVCC reader domain racing the crash point.
 #
 # --force-restarts additionally runs the OLC forced-restart stress cases
 # (test/test_olc.ml reads OLC_FORCE_RESTARTS): a writer domain repeatedly

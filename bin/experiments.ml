@@ -1,7 +1,7 @@
 (* Experiment driver: regenerates every figure/table-shaped result in
    EXPERIMENTS.md (see DESIGN.md §4 for the experiment index).
 
-   Usage:  experiments [E1|E2|...|E17|F5|all] [--duration s] [--domains n,n,...]
+   Usage:  experiments [E1|E2|...|E18|F5|all] [--duration s] [--domains n,n,...]
 *)
 
 open Gist_core
@@ -1829,6 +1829,241 @@ let e17 ~duration_s =
     | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* E18: MVCC snapshot reads — scan-vs-writer interference              *)
+(* ------------------------------------------------------------------ *)
+
+let e18 ~duration_s ~domain_list =
+  Report.section "E18  MVCC snapshot reads: lock-free scans vs locked scans under writers";
+  (* The interference claim wants the 8-domain writer point; extend the
+     default sweep, an explicit --domains wins. *)
+  let domain_list = if domain_list = [ 1; 2; 4 ] then [ 1; 2; 4; 8 ] else domain_list in
+  print_endline
+    "In-memory configuration (4096-frame pool over a 20k-key tree).\n\
+     Phase A, reader isolation: 4 reader domains scan a quiesced tree\n\
+     (10% of keys carry committed delete markers, so visibility filtering\n\
+     does real work) — locked scans (Read_committed Gist.search) versus\n\
+     snapshot scans (Db.begin_ro + Gist.snapshot_search). The snapshot row\n\
+     must show zero lock.* and zero pred.* deltas: page latches are its\n\
+     only synchronization.\n\
+     Phase B, writer interference: for each writer count, committed write\n\
+     ops/s with 4 null readers (the same snapshot-scan loop against a\n\
+     private tree — the CPU-fair no-interference baseline), with 4 locked\n\
+     readers, and with 4 snapshot readers racing on the writers' tree.\n\
+     Snapshot readers must not move writer throughput relative to the\n\
+     null baseline, and their scan p99 must stay flat as writers grow.\n\
+     Raw curves land in BENCH_8.json.";
+  let module H = Gist_util.Stats.Histogram in
+  let space = 20_000 in
+  let setup () =
+    let db, t = make_btree () in
+    Workload.Btree.preload db t ~n:space;
+    with_retry db (fun txn ->
+        for i = 0 to (space / 10) - 1 do
+          let k = 10 * i in
+          ignore (Gist.delete t txn ~key:(B.key k) ~rid:(Workload.Btree.rid_of_key ~worker:0 k))
+        done);
+    (db, t)
+  in
+  let one_scan db t rng kind =
+    let lo = Xoshiro.int rng (space - 200) in
+    let q = B.range lo (lo + 200) in
+    match kind with
+    | `Snapshot ->
+      let ro = Db.begin_ro db in
+      let n = List.length (Gist.snapshot_search t ro q) in
+      Db.end_ro db ro;
+      n
+    | `Locked ->
+      with_retry db (fun txn ->
+          List.length (Gist.search ~isolation:`Read_committed t txn q))
+  in
+  (* --- phase A: reader isolation on a quiesced tree ------------------ *)
+  let isolation_cell kind =
+    let db, t = setup () in
+    let snap0 = Metrics.snapshot () in
+    let stats =
+      Driver.run ~domains:4 ~duration_s
+        ~seed:(match kind with `Snapshot -> 18_001 | `Locked -> 18_002)
+        (fun ~worker:_ ~rng -> ignore (one_scan db t rng kind : int))
+    in
+    let snap1 = Metrics.snapshot () in
+    check_tree_or_warn t "E18";
+    let d name = Metrics.counter_value snap1 name - Metrics.counter_value snap0 name in
+    (stats, d)
+  in
+  let locked_stats, d_locked = isolation_cell `Locked in
+  let snap_stats, d_snap = isolation_cell `Snapshot in
+  let counters =
+    [
+      "lock.acquire"; "lock.wait"; "pred.register"; "pred.attach";
+      "mvcc.snapshot_scan"; "mvcc.version_skipped"; "latches_held_across_io";
+    ]
+  in
+  print_endline "\nPhase A: 4 reader domains, quiesced tree";
+  Report.table
+    ~header:([ "reader"; "scans/s"; "scan p99 ms" ] @ counters)
+    (List.map
+       (fun (label, stats, d) ->
+         [
+           label;
+           Report.f0 stats.Driver.throughput;
+           Report.f2 (1e3 *. H.percentile stats.Driver.latency 0.99);
+         ]
+         @ List.map (fun c -> Report.i (d c)) counters)
+       [ ("locked", locked_stats, d_locked); ("snapshot", snap_stats, d_snap) ]);
+  let iso_zero =
+    List.for_all
+      (fun c -> d_snap c = 0)
+      [ "lock.acquire"; "lock.wait"; "pred.register"; "pred.attach" ]
+  in
+  Printf.printf "snapshot cells lock.*/pred.* all zero: %s\n" (if iso_zero then "yes" else "NO");
+  (* --- phase B: writers + racing readers, against a CPU-fair control - *)
+  (* On a machine with fewer cores than domains, "writers alone" is not a
+     fair baseline: any racing reader costs the writers wall-clock CPU
+     share regardless of synchronization. The control that isolates
+     {e interference} from scheduling is the null reader — the identical
+     snapshot-scan loop against a {e private} tree in a private
+     environment, so it burns the same CPU but shares nothing with the
+     writers. Snapshot readers on the writers' own tree must then match
+     the null baseline; locked readers show the contrast. *)
+  let interference_cell ~readers ~kind ~writers =
+    let db, t = setup () in
+    let reader_db, reader_t, reader_kind =
+      match kind with
+      | `Null ->
+        let db2, t2 = setup () in
+        (db2, t2, `Snapshot)
+      | (`Locked | `Snapshot) as k -> (db, t, k)
+    in
+    let stop = Atomic.make false in
+    let snap0 = Metrics.snapshot () in
+    let reader_doms =
+      List.init readers (fun r ->
+          Domain.spawn (fun () ->
+              let rng = Xoshiro.create (18_100 + (writers * 13) + r) in
+              let h = H.create () in
+              let scans = ref 0 in
+              while not (Atomic.get stop) do
+                let t0 = Clock.now_ns () in
+                ignore (one_scan reader_db reader_t rng reader_kind : int);
+                H.add h (float_of_int (Clock.now_ns () - t0) /. 1e9);
+                incr scans
+              done;
+              (h, !scans)))
+    in
+    let stats =
+      Driver.run_txn_ops ~db ~domains:writers ~duration_s ~seed:(writers * 31)
+        (fun ~worker ~rng ~txn ->
+          List.iter
+            (Workload.Btree.apply t txn)
+            (Workload.Btree.scattered ~worker ~space ~read_pct:0 ~scan_width:10 rng))
+    in
+    Atomic.set stop true;
+    let reader_results = List.map Domain.join reader_doms in
+    let snap1 = Metrics.snapshot () in
+    check_tree_or_warn t "E18";
+    let scan_h = List.fold_left (fun acc (h, _) -> H.merge acc h) (H.create ()) reader_results in
+    let scans = List.fold_left (fun acc (_, n) -> acc + n) 0 reader_results in
+    let d name = Metrics.counter_value snap1 name - Metrics.counter_value snap0 name in
+    (stats.Driver.throughput, float_of_int scans /. stats.Driver.elapsed_s, scan_h, d)
+  in
+  let sweep =
+    List.map
+      (fun writers ->
+        let alone_tp, _, _, _ = interference_cell ~readers:0 ~kind:`Null ~writers in
+        let null_tp, _, _, d_null = interference_cell ~readers:4 ~kind:`Null ~writers in
+        let lk_tp, lk_scans, lk_h, d_lk = interference_cell ~readers:4 ~kind:`Locked ~writers in
+        let sn_tp, sn_scans, sn_h, d_sn =
+          interference_cell ~readers:4 ~kind:`Snapshot ~writers
+        in
+        (writers, alone_tp, null_tp, lk_tp, sn_tp, lk_scans, sn_scans, lk_h, sn_h,
+         (d_null, d_lk, d_sn)))
+      domain_list
+  in
+  print_endline
+    "\nPhase B: writer ops/s with 4 racing readers (null = same scan loop\n\
+     on a private tree: the CPU-fair no-interference baseline)";
+  Report.table
+    ~header:
+      [
+        "writers"; "alone ops/s"; "+null ops/s"; "+locked ops/s"; "+snapshot ops/s";
+        "snap/null"; "locked scans/s"; "snap scans/s"; "locked p99 ms"; "snap p99 ms";
+        "held_across_io";
+      ]
+    (List.map
+       (fun (w, alone, null, lk, sn, lks, sns, lkh, snh, (d_null, d_lk, d_sn)) ->
+         [
+           Report.i w;
+           Report.f0 alone;
+           Report.f0 null;
+           Report.f0 lk;
+           Report.f0 sn;
+           Report.f2 (sn /. null);
+           Report.f0 lks;
+           Report.f0 sns;
+           Report.f2 (1e3 *. H.percentile lkh 0.99);
+           Report.f2 (1e3 *. H.percentile snh 0.99);
+           Report.i
+             (d_null "latches_held_across_io" + d_lk "latches_held_across_io"
+             + d_sn "latches_held_across_io");
+         ])
+       sweep);
+  (* One machine-parseable line so BENCH_8.json regenerates from captured
+     output (same convention as E14..E17). *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"e18\": {\"isolation\": [";
+  List.iteri
+    (fun i (label, stats, d) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"reader\": %S, \"scans_s\": %.0f, \"scan_p99_ms\": %.3f, \"lock_acquire\": %d, \
+         \"lock_wait\": %d, \"pred_register\": %d, \"pred_attach\": %d, \
+         \"mvcc_snapshot_scan\": %d, \"mvcc_version_skipped\": %d, \"held_across_io\": %d}"
+        label stats.Driver.throughput
+        (1e3 *. H.percentile stats.Driver.latency 0.99)
+        (d "lock.acquire") (d "lock.wait") (d "pred.register") (d "pred.attach")
+        (d "mvcc.snapshot_scan") (d "mvcc.version_skipped")
+        (d "latches_held_across_io"))
+    [ ("locked", locked_stats, d_locked); ("snapshot", snap_stats, d_snap) ];
+  Buffer.add_string buf "], \"interference\": [";
+  List.iteri
+    (fun i (w, alone, null, lk, sn, lks, sns, lkh, snh, (d_null, d_lk, d_sn)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"writers\": %d, \"alone_ops_s\": %.0f, \"null_ops_s\": %.0f, \
+         \"locked_ops_s\": %.0f, \"snapshot_ops_s\": %.0f, \"snap_over_null\": %.3f, \
+         \"locked_scans_s\": %.0f, \"snapshot_scans_s\": %.0f, \
+         \"locked_scan_p99_ms\": %.3f, \"snapshot_scan_p99_ms\": %.3f, \"held_across_io\": %d}"
+        w alone null lk sn (sn /. null) lks sns
+        (1e3 *. H.percentile lkh 0.99)
+        (1e3 *. H.percentile snh 0.99)
+        (d_null "latches_held_across_io" + d_lk "latches_held_across_io"
+        + d_sn "latches_held_across_io"))
+    sweep;
+  Buffer.add_string buf "]}}";
+  print_endline (Buffer.contents buf);
+  print_endline
+    "Expected shape: the snapshot isolation row is all zeros on lock.* and\n\
+     pred.*; writer ops/s with 4 snapshot readers matches the null-reader\n\
+     baseline within noise — snap/null ~ 1.0 (the locked-reader column\n\
+     shows the contrast); snapshot scan p99 stays flat as writers grow;\n\
+     latches_held_across_io identically 0.";
+  (* CI smoke floor: E18_FLOOR_OPS asserts the snapshot cell of phase A
+     (conservatively low; flags a collapsed snapshot-read path). *)
+  match Sys.getenv_opt "E18_FLOOR_OPS" with
+  | None -> ()
+  | Some floor_s -> (
+    match float_of_string_opt floor_s with
+    | Some floor ->
+      let tp = snap_stats.Driver.throughput in
+      if tp >= floor then Printf.printf "E18 floor check: PASS (%.0f >= %.0f scans/s)\n" tp floor
+      else begin
+        Printf.printf "E18 floor check: FAIL (%.0f < %.0f scans/s)\n" tp floor;
+        exit 1
+      end
+    | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1852,6 +2087,7 @@ let run_experiment ~duration_s ~domain_list = function
   | "E15" | "e15" -> e15 ~duration_s ~domain_list
   | "E16" | "e16" -> e16 ~duration_s ~domain_list
   | "E17" | "e17" -> e17 ~duration_s
+  | "E18" | "e18" -> e18 ~duration_s ~domain_list
   | "F5" | "f5" -> f5 ()
   | "all" ->
     e1 ~duration_s;
@@ -1873,13 +2109,14 @@ let run_experiment ~duration_s ~domain_list = function
     e15 ~duration_s ~domain_list;
     e16 ~duration_s ~domain_list;
     e17 ~duration_s;
+    e18 ~duration_s ~domain_list;
     f5 ()
-  | other -> Printf.eprintf "unknown experiment %S (try E1..E17, F5, all)\n" other
+  | other -> Printf.eprintf "unknown experiment %S (try E1..E18, F5, all)\n" other
 
 open Cmdliner
 
 let experiment =
-  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"E1..E17, F5 or all")
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"E1..E18, F5 or all")
 
 let duration =
   Arg.(

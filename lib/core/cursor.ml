@@ -259,3 +259,59 @@ let close c =
       c.sig_counts;
     Hashtbl.reset c.sig_counts
   end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot cursors (PROTOCOL.md §9)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A streaming scan on the MVCC read path. Holds no locks, no predicates
+   and no signaling locks between [snap_next] calls, so there is nothing
+   to revalidate and nothing to close: visibility at the snapshot's
+   timestamp is immutable, the GC watermark keeps qualifying versions
+   alive, and deferred page free keeps visited nodes readable for the
+   lifetime of the [Db.ro]. *)
+type 'p snap = {
+  sc_tree : 'p Gist.t;
+  sc_ro : Db.ro;
+  sc_query : 'p;
+  mutable sc_stack : (Page_id.t * Lsn.t) list;
+  mutable sc_buffered : ('p * Rid.t) list;
+  sc_seen : (Rid.t, unit) Hashtbl.t; (* rid dedup across rightlink revisits *)
+}
+
+let m_snapshot_scans = Gist_obs.Metrics.counter "mvcc.snapshot_scan"
+
+let open_snapshot tree ro query =
+  Gist_obs.Metrics.incr m_snapshot_scans;
+  if Gist_obs.Trace.enabled () then
+    Gist_obs.Trace.emit (Gist_obs.Trace.Snapshot_scan { ts = Db.ro_ts ro });
+  {
+    sc_tree = tree;
+    sc_ro = ro;
+    sc_query = query;
+    sc_stack = [ (Gist.root tree, Db.global_nsn (Gist.db tree)) ];
+    sc_buffered = [];
+    sc_seen = Hashtbl.create 32;
+  }
+
+let rec snap_next c =
+  match c.sc_buffered with
+  | (key, rid) :: rest ->
+    c.sc_buffered <- rest;
+    if Hashtbl.mem c.sc_seen rid then snap_next c
+    else begin
+      Hashtbl.replace c.sc_seen rid ();
+      Some (key, rid)
+    end
+  | [] -> (
+    match c.sc_stack with
+    | [] -> None
+    | (pid, memo) :: rest ->
+      let stack = ref rest in
+      let hits =
+        Gist.snapshot_visit c.sc_tree ~ts:(Db.ro_ts c.sc_ro) ~stack ~query:c.sc_query pid memo
+      in
+      c.sc_stack <- !stack;
+      Gist.prefetch_pending c.sc_tree c.sc_stack;
+      c.sc_buffered <- hits;
+      snap_next c)

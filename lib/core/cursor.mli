@@ -40,3 +40,22 @@ val restore : 'p t -> 'p snapshot -> unit
 
 val close : 'p t -> unit
 (** Release the cursor's signaling locks. Idempotent. *)
+
+(** {1 Snapshot cursors (PROTOCOL.md §9)} *)
+
+type 'p snap
+(** A streaming scan bound to a read-only snapshot: results arrive one at
+    a time like {!next}, but the traversal takes zero locks and attaches
+    zero predicates — per-entry MVCC visibility at the snapshot's commit
+    timestamp replaces both. There is no close: nothing is held between
+    calls, and the snapshot's GC watermark plus deferred page free keep
+    the versions and pages it may still visit alive until [Db.end_ro]. *)
+
+val open_snapshot : 'p Gist.t -> Db.ro -> 'p -> 'p snap
+(** Begin a snapshot scan for entries consistent with the predicate and
+    visible to [ro]. Counted in [mvcc.snapshot_scan]. *)
+
+val snap_next : 'p snap -> ('p * Gist_storage.Rid.t) option
+(** The next visible qualifying entry, or [None] when exhausted. Never
+    blocks on writers and never raises [Deadlock]; repeating a full scan
+    under the same [Db.ro] yields the same set. *)

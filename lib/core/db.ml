@@ -1,6 +1,8 @@
 open Gist_util
 module Disk = Gist_storage.Disk
 module Buffer_pool = Gist_storage.Buffer_pool
+module Latch = Gist_storage.Latch
+module Metrics = Gist_obs.Metrics
 module Bg_writer = Gist_storage.Bg_writer
 module Page_id = Gist_storage.Page_id
 module Lsn = Gist_wal.Lsn
@@ -31,6 +33,7 @@ type config = {
   bg_writer : bool;
   checkpoint_interval_us : int;
   prefetch_depth : int;
+  mvcc : bool;
 }
 
 let default_config =
@@ -53,6 +56,7 @@ let default_config =
     bg_writer = false;
     checkpoint_interval_us = 0;
     prefetch_depth = 2;
+    mvcc = true;
   }
 
 type t = {
@@ -69,6 +73,13 @@ type t = {
   alloc_mutex : Mutex.t;
   mutable alloc_next : int;
   mutable alloc_free : int list;
+  mutable deferred_free : (int * Lsn.t * int) list;
+      (* (page, free-record LSN, snapshot barrier): pages retired by node
+         delete while a snapshot was active. A lock-free snapshot reader
+         holds no signaling lock, so the §7.2 drain cannot see it — the
+         empty page image (rightlink intact) must survive until every
+         snapshot registered before the barrier has ended, then [reap_free]
+         scrubs and releases it. *)
 }
 
 (* --- allocator --- *)
@@ -132,6 +143,65 @@ let allocator_restore t s =
   t.alloc_next <- next;
   t.alloc_free <- free;
   Mutex.unlock t.alloc_mutex
+
+(* --- read-only snapshots and deferred page reclamation --- *)
+
+let m_snapshot_begins =
+  Metrics.counter ~unit_:"ops" ~help:"read-only snapshot transactions opened (Db.begin_ro)"
+    "mvcc.snapshot_begin"
+
+type ro = { ro_snap : Gist_txn.Txn_manager.snapshot }
+
+let begin_ro t =
+  if not t.config.mvcc then
+    invalid_arg "Db.begin_ro: snapshot reads are disabled (config.mvcc = false)";
+  Metrics.incr m_snapshot_begins;
+  { ro_snap = Gist_txn.Txn_manager.begin_snapshot t.txns }
+
+let ro_ts ro = Gist_txn.Txn_manager.snapshot_ts ro.ro_snap
+
+let ro_snap ro = ro.ro_snap
+
+(* Park a retired page instead of scrubbing it: a lock-free snapshot
+   reader takes no signaling locks, so the §7.2 drain cannot prove the
+   page unreferenced. The empty image (rightlink intact) stays readable
+   until every snapshot registered before [barrier] ends. *)
+let defer_free t pid ~lsn =
+  let barrier = Gist_txn.Txn_manager.snapshot_barrier t.txns in
+  Mutex.lock t.alloc_mutex;
+  t.deferred_free <- (Page_id.to_int pid, lsn, barrier) :: t.deferred_free;
+  Mutex.unlock t.alloc_mutex
+
+let deferred_free_count t =
+  Mutex.lock t.alloc_mutex;
+  let n = List.length t.deferred_free in
+  Mutex.unlock t.alloc_mutex;
+  n
+
+(* Scrub and release every deferred page whose barrier has cleared (no
+   snapshot registered before its retirement survives). Returns how many
+   pages were reclaimed. *)
+let reap_free t =
+  let floor = Gist_txn.Txn_manager.min_active_snap_id t.txns in
+  Mutex.lock t.alloc_mutex;
+  let ready, still = List.partition (fun (_, _, barrier) -> barrier <= floor) t.deferred_free in
+  t.deferred_free <- still;
+  Mutex.unlock t.alloc_mutex;
+  List.iter
+    (fun (p, lsn, _) ->
+      let pid = Page_id.of_int p in
+      Buffer_pool.with_page t.pool pid Latch.X (fun frame ->
+          let img = Buffer_pool.data frame in
+          Bytes.fill img 0 (Bytes.length img) '\000';
+          Buffer_pool.invalidate_cache frame;
+          Buffer_pool.mark_dirty t.pool frame ~lsn);
+      release_page t pid)
+    ready;
+  List.length ready
+
+let end_ro t ro =
+  Gist_txn.Txn_manager.end_snapshot t.txns ro.ro_snap;
+  ignore (reap_free t)
 
 (* --- checkpointing --- *)
 
@@ -210,6 +280,7 @@ let attach ~config ~disk ~log =
       alloc_mutex = Mutex.create ();
       alloc_next = 1; (* page 0 is the reserved invalid id *)
       alloc_free = [];
+      deferred_free = [];
     }
   in
   (* The background writer/checkpointer domain, like the group-commit

@@ -100,6 +100,14 @@ type config = {
           each time it visits a node (rightlink successors and pending
           subtree roots). [0] disables prefetch; ignored without
           [bg_writer], which owns the prefetch queue. *)
+  mvcc : bool;
+      (** Snapshot reads: allow [begin_ro] read-only transactions that scan
+          a commit-timestamp snapshot via {!Gist.snapshot_search} /
+          {!Cursor.open_snapshot} with zero lock acquisitions and zero
+          predicate attaches, and make node deletes defer page scrubbing
+          while snapshots are active. On by default; the read-write path
+          (record locks + C2/C3 predicate machinery) is unaffected either
+          way. PROTOCOL.md §9; experiment E18. *)
 }
 
 val default_config : config
@@ -127,6 +135,10 @@ type t = {
   alloc_mutex : Mutex.t;
   mutable alloc_next : int;
   mutable alloc_free : int list;
+  mutable deferred_free : (int * Gist_wal.Lsn.t * int) list;
+      (** Pages retired by node delete while a snapshot was active, parked
+          until their snapshot barrier clears ([reap_free]). Guarded by
+          [alloc_mutex]. *)
 }
 
 val create : ?config:config -> unit -> t
@@ -190,6 +202,42 @@ val mark_available : t -> Gist_storage.Page_id.t -> unit
 
 val allocator_snapshot : t -> string
 val allocator_restore : t -> string -> unit
+
+(** {1 Read-only snapshot transactions (PROTOCOL.md §9)}
+
+    A snapshot transaction is not a transaction-table entry: it takes no
+    transaction id, writes no log records, acquires no locks (not even the
+    self X lock of [begin_txn]) and attaches no predicates. It is a commit
+    timestamp plus a registry entry that (a) holds the version-GC
+    watermark and (b) defers the scrubbing of pages retired by node
+    deletes. *)
+
+type ro
+
+val begin_ro : t -> ro
+(** Open a read-only snapshot transaction at the current published commit
+    timestamp. Counted in [mvcc.snapshot_begin].
+    @raise Invalid_argument when [config.mvcc] is false. *)
+
+val end_ro : t -> ro -> unit
+(** Close the snapshot (releases the GC watermark) and opportunistically
+    reap deferred page frees whose barriers have cleared. *)
+
+val ro_ts : ro -> int
+(** The snapshot's commit timestamp. *)
+
+val ro_snap : ro -> Gist_txn.Txn_manager.snapshot
+
+val defer_free : t -> Gist_storage.Page_id.t -> lsn:Gist_wal.Lsn.t -> unit
+(** Park a just-retired page (its Free-Page record already logged at
+    [lsn]) instead of scrubbing it, because an active snapshot might still
+    traverse into it. *)
+
+val reap_free : t -> int
+(** Scrub + release every parked page whose snapshot barrier has cleared;
+    returns how many. Also called from [end_ro] and the vacuum path. *)
+
+val deferred_free_count : t -> int
 
 (** {1 Extension registry} *)
 

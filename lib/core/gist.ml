@@ -61,6 +61,21 @@ let m_olc_fallbacks =
     ~help:"node visits that exhausted the optimistic retry budget and took the S latch"
     "olc.fallback"
 
+let m_snapshot_scans =
+  Metrics.counter ~unit_:"ops" ~help:"read-only snapshot scans (lock-free MVCC read path)"
+    "mvcc.snapshot_scan"
+
+let m_version_skipped =
+  Metrics.counter ~unit_:"entries"
+    ~help:"leaf-entry versions skipped by snapshot visibility filtering (creator too new or \
+           deleter already committed at the snapshot timestamp)"
+    "mvcc.version_skipped"
+
+let m_gc_reclaimed =
+  Metrics.counter ~unit_:"entries"
+    ~help:"dead versions reclaimed by GC under the oldest-active-snapshot watermark"
+    "mvcc.gc_reclaimed"
+
 exception Duplicate_key
 
 exception Parent_needs_split
@@ -575,6 +590,176 @@ let search ?(isolation = `Repeatable_read) ?olc t txn query =
       Hashtbl.fold (fun rid key acc -> (key, rid) :: acc) results [])
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot search: the lock-free MVCC read path (PROTOCOL.md §9)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-entry visibility against snapshot timestamp [ts]: the creator's
+   effects are in (committed at or below [ts], or historical) and the
+   deleter's are not. MUST be evaluated while the entry's node state is
+   known current — under the S latch or inside a version window that
+   subsequently validates — because an aborting creator physically removes
+   its entries before leaving the transaction table; checked after the
+   fact, a just-aborted creator would read as "historical" and a dead
+   entry would become visible. Within a validated window the entry is
+   physically present for the whole span, so its creator is still in one
+   of the two tables whenever this runs. *)
+let entry_visible t ~ts e =
+  let txns = t.db.Db.txns in
+  if not (Txn_manager.committed_as_of txns ~ts e.Node.le_creator) then begin
+    Metrics.incr m_version_skipped;
+    false
+  end
+  else if
+    Txn_id.is_some e.Node.le_deleter && Txn_manager.committed_as_of txns ~ts e.Node.le_deleter
+  then begin
+    Metrics.incr m_version_skipped;
+    false
+  end
+  else true
+
+(* Everything a snapshot scan takes from one node: rightlink compensation
+   decision, consistent children (internal), or visible matching entries
+   (leaf). Pure reads plus txn-table lookups — no locks, no predicates, no
+   mutation. Runs under the S latch or inside a version window. *)
+let snapshot_read_step t ~ts ~query frame pid memo =
+  ignore pid;
+  let node = Node.peek t.ext frame in
+  let rl =
+    if Lsn.( < ) memo node.Node.nsn && Page_id.is_valid node.Node.rightlink then
+      Some (node.Node.rightlink, node.Node.nsn)
+    else None
+  in
+  if Node.is_leaf node then
+    let hits =
+      Dyn.fold
+        (fun acc e ->
+          if t.ext.Ext.consistent query e.Node.le_key && entry_visible t ~ts e then
+            (e.Node.le_key, e.Node.le_rid) :: acc
+          else acc)
+        [] (Node.leaf_entries node)
+    in
+    `Step (rl, None, [], hits)
+  else
+    let child_memo = memo_of t frame in
+    let children =
+      Dyn.fold
+        (fun acc e ->
+          if t.ext.Ext.consistent query e.Node.ie_bp then e.Node.ie_child :: acc else acc)
+        [] (Node.internal_entries node)
+    in
+    `Step (rl, Some child_memo, children, [])
+
+(* Visit one snapshot-scan stack entry and return its visible leaf hits.
+   No signaling locks and no predicate attach anywhere on this path: the
+   snapshot does not need them (visibility is decided per entry, and a
+   page retired under our feet is just an empty node or an unformatted
+   image we skip). Optimistic first, like [olc_visit]; the S-latch
+   fallback covers pathological write traffic. *)
+let snapshot_visit t ~ts ~stack ~query pid memo =
+  let cfg = t.db.Db.config in
+  let pool = t.db.Db.pool in
+  let frame = Buffer_pool.pin pool pid in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin pool frame)
+    (fun () ->
+      let act = function
+        | `Retired -> []
+        | `Step (rl, child_memo, children, hits) ->
+          (match rl with
+          | Some (rightlink, nsn) ->
+            note_rightlink_raw t ~from_pid:pid ~memo ~nsn ~rightlink;
+            stack := (rightlink, memo) :: !stack;
+            hookf t "snapshot:rightlink:%a" Page_id.pp rightlink
+          | None -> ());
+          (match child_memo with
+          | Some cm -> List.iter (fun child -> stack := (child, cm) :: !stack) children
+          | None -> ());
+          hits
+      in
+      (* The snapshot path must never *block* on a writer's latch — not
+         even as a fallback. A blocking acquire here would also deadlock
+         the crash fuzzer's racing readers: its simulated power loss is an
+         exception raised in the faulting domain, which strands any
+         bare-held X latch (a real power loss takes every domain with it),
+         and a reader parked on that latch never wakes. So the fallback
+         spins on [try_acquire], and every so often probes the disk — a
+         no-op read whose fault hook re-raises the sticky power-off in
+         *this* domain, turning the stranded-latch case into the same
+         [Fault.Crash] the reader already absorbs. *)
+      let latched () =
+        let l = Buffer_pool.latch frame in
+        let rec try_s spins =
+          if Latch.try_acquire l Latch.S then
+            Fun.protect
+              ~finally:(fun () -> Latch.release l Latch.S)
+              (fun () ->
+                match snapshot_read_step t ~ts ~query frame pid memo with
+                | exception Codec.Corrupt _ -> act `Retired
+                | step -> act step)
+          else begin
+            if spins land 255 = 255 then
+              ignore (Gist_storage.Disk.read (Buffer_pool.disk pool) pid);
+            Domain.cpu_relax ();
+            try_s (spins + 1)
+          end
+        in
+        try_s 0
+      in
+      if not cfg.Db.olc then latched ()
+      else begin
+        let rec attempt n =
+          if n >= cfg.Db.olc_retries then begin
+            Metrics.incr m_olc_fallbacks;
+            if Trace.enabled () then Trace.emit (Trace.Olc_fallback { page = Page_id.to_int pid });
+            latched ()
+          end
+          else begin
+            Metrics.incr m_olc_attempts;
+            let restart () =
+              Metrics.incr m_olc_restarts;
+              if Trace.enabled () then Trace.emit (Trace.Olc_restart { page = Page_id.to_int pid });
+              Domain.cpu_relax ();
+              attempt (n + 1)
+            in
+            match Buffer_pool.frame_version frame with
+            | None -> restart ()
+            | Some v0 -> (
+              match snapshot_read_step t ~ts ~query frame pid memo with
+              | exception Codec.Corrupt _ ->
+                (* A validated corrupt decode is a page retired by a node
+                   delete (scrub deferred or replayed) — skip it. *)
+                if Buffer_pool.validate_frame frame v0 then act `Retired else restart ()
+              | exception e -> if Buffer_pool.validate_frame frame v0 then raise e else restart ()
+              | step -> if Buffer_pool.validate_frame frame v0 then act step else restart ())
+          end
+        in
+        attempt 0
+      end)
+
+let snapshot_search t ro query =
+  let ts = Db.ro_ts ro in
+  Atomic.incr t.counters.c_searches;
+  Metrics.incr m_searches;
+  Metrics.incr m_snapshot_scans;
+  if Trace.enabled () then Trace.emit (Trace.Snapshot_scan { ts });
+  let results : (Rid.t, 'p) Hashtbl.t = Hashtbl.create 32 in
+  let stack = ref [ (t.root, Db.global_nsn t.db) ] in
+  while !stack <> [] do
+    let pid, memo = List.hd !stack in
+    stack := List.tl !stack;
+    hookf t "snapshot:visit:%a" Page_id.pp pid;
+    let hits = snapshot_visit t ~ts ~stack ~query pid memo in
+    (* Dedup by rid: a split can make the scan visit the same leaf both
+       through its parent entry and through a rightlink chase. Visibility
+       already guarantees at most one version of a rid qualifies at [ts]. *)
+    List.iter
+      (fun (key, rid) -> if not (Hashtbl.mem results rid) then Hashtbl.replace results rid key)
+      hits;
+    prefetch_pending t !stack
+  done;
+  Hashtbl.fold (fun rid key acc -> (key, rid) :: acc) results []
+
+(* ------------------------------------------------------------------ *)
 (* Split machinery (Figure 4: splitNode)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -996,12 +1181,28 @@ let gc_leaf t frame node =
     let txns = t.db.Db.txns in
     let commit_lsn = Txn_manager.commit_lsn txns in
     let fast = Lsn.( < ) (Buffer_pool.page_lsn frame) commit_lsn in
+    (* Oldest-active-snapshot watermark (PROTOCOL.md §9): a version whose
+       delete some registered snapshot cannot yet see must survive. Also
+       capped at the published timestamp so a delete whose commit mapping
+       is inserted but not yet published cannot be reclaimed out from
+       under a snapshot beginning at this very instant. [max_int]-free
+       when no snapshot is registered apart from the publish cap, i.e.
+       the pre-MVCC rule. *)
+    let reclaim_ts =
+      min (Txn_manager.oldest_snapshot_ts txns) (Txn_manager.published_cts txns)
+    in
     let victims = ref [] in
     Dyn.iter
       (fun e ->
         if
           Txn_id.is_some e.Node.le_deleter
           && (fast || Txn_manager.is_committed txns e.Node.le_deleter)
+          && (match Txn_manager.commit_ts_of txns e.Node.le_deleter with
+             | Some cts -> cts <= reclaim_ts
+             | None ->
+               (* Historical delete (before the analysis window):
+                  timestamp 0, older than any snapshot. *)
+               not (Txn_manager.is_active txns e.Node.le_deleter))
         then victims := e.Node.le_rid :: !victims)
       (Node.leaf_entries node);
     match !victims with
@@ -1010,6 +1211,7 @@ let gc_leaf t frame node =
       hookf t "gc:%a:%d" Page_id.pp node.Node.id (List.length rids);
       List.iter (fun _ -> Atomic.incr t.counters.c_gc_entries) rids;
       Metrics.add m_gc_entries (List.length rids);
+      Metrics.add m_gc_reclaimed (List.length rids);
       let lsn =
         Gist_wal.Log_manager.append t.db.Db.log ~txn:Txn_id.none ~prev:Lsn.nil
           ~ext:t.ext.Ext.name
@@ -1225,7 +1427,14 @@ let insert_entry t txn ~key ~rid =
                      predicate conflict check follow once the entry is
                      physically present (see propagate_bp). *)
                   hookf t "insert:add:%a" Page_id.pp pid;
-                  let entry = { Node.le_key = key; le_rid = rid; le_deleter = Txn_id.none } in
+                  let entry =
+                    {
+                      Node.le_key = key;
+                      le_rid = rid;
+                      le_creator = Txn_manager.id txn;
+                      le_deleter = Txn_id.none;
+                    }
+                  in
                   let lsn =
                     Txn_manager.log_update txns txn ~ext:t.ext.Ext.name
                       (Log_record.Add_leaf_entry
@@ -1571,15 +1780,28 @@ let try_delete_node t txn ~parent ~victim =
                   let free_lsn =
                     Txn_manager.log_nta txns txn ~ext:t.ext.Ext.name (Log_record.Free_page { page = victim })
                   in
-                  (* Unformat the page: it is unreachable by construction.
-                     The zero-fill bypasses node encoding, so drop the
-                     cached decode explicitly. *)
-                  Bytes.fill (Buffer_pool.data victim_frame) 0
-                    (Bytes.length (Buffer_pool.data victim_frame))
-                    '\000';
-                  Buffer_pool.invalidate_cache victim_frame;
-                  Buffer_pool.mark_dirty t.db.Db.pool victim_frame ~lsn:free_lsn;
-                  Db.release_page t.db victim;
+                  if t.db.Db.config.Db.mvcc && Txn_manager.active_snapshots txns > 0 then
+                    (* A lock-free snapshot reader holds no signaling lock,
+                       so the conditional-X drain above proves nothing about
+                       it — one may still hold a pointer at the victim.
+                       Park the empty image (rightlink intact) instead of
+                       scrubbing; [Db.reap_free] finishes the job once every
+                       snapshot registered before this instant has ended.
+                       Snapshots beginning later cannot reach the victim:
+                       its parent entry and the left rightlink are already
+                       stitched past it. *)
+                    Db.defer_free t.db victim ~lsn:free_lsn
+                  else begin
+                    (* Unformat the page: it is unreachable by construction.
+                       The zero-fill bypasses node encoding, so drop the
+                       cached decode explicitly. *)
+                    Bytes.fill (Buffer_pool.data victim_frame) 0
+                      (Bytes.length (Buffer_pool.data victim_frame))
+                      '\000';
+                    Buffer_pool.invalidate_cache victim_frame;
+                    Buffer_pool.mark_dirty t.db.Db.pool victim_frame ~lsn:free_lsn;
+                    Db.release_page t.db victim
+                  end;
                   Txn_manager.end_nta txns txn nta;
                   true
                 end
@@ -1590,6 +1812,9 @@ let try_delete_node t txn ~parent ~victim =
       end)
 
 let vacuum t =
+  (* First reclaim pages whose deferred frees have cleared their snapshot
+     barriers — vacuum is the natural reap point besides [Db.end_ro]. *)
+  ignore (Db.reap_free t.db);
   let txn = Txn_manager.begin_txn t.db.Db.txns in
   (* Single-pass DFS over parent structure; collects (parent, leaf) pairs
      first, then GCs and retires empties. *)
@@ -1704,7 +1929,8 @@ let bulk_load db ext_ ?(unique = false) ?(fill = 0.85) ~empty_bp entries =
   let leaf_parents =
     pack_level ~level:0
       ~add:(fun node (key, rid) ->
-        Node.add_leaf_entry node { Node.le_key = key; le_rid = rid; le_deleter = Txn_id.none })
+        Node.add_leaf_entry node
+          { Node.le_key = key; le_rid = rid; le_creator = Txn_id.none; le_deleter = Txn_id.none })
       ~count:(fun n -> Dyn.length (Node.leaf_entries n))
       (Array.to_list entries)
   in
@@ -1747,7 +1973,8 @@ let bulk_load db ext_ ?(unique = false) ?(fill = 0.85) ~empty_bp entries =
       let node = Node.make_leaf ~id:root ~bp:empty_bp in
       Array.iter
         (fun (key, rid) ->
-          Node.add_leaf_entry node { Node.le_key = key; le_rid = rid; le_deleter = Txn_id.none })
+          Node.add_leaf_entry node
+            { Node.le_key = key; le_rid = rid; le_creator = Txn_id.none; le_deleter = Txn_id.none })
         entries;
       Node.recompute_bp ext_ node;
       node

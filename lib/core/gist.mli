@@ -85,6 +85,33 @@ val search :
     writers as needed) and no predicate is attached — phantoms and
     unrepeatable reads are possible, concurrency is higher. *)
 
+val snapshot_search : 'p t -> Db.ro -> 'p -> ('p * Gist_storage.Rid.t) list
+(** All leaf entries consistent with the query and {e visible to the
+    snapshot}: creator committed at or before the snapshot's commit
+    timestamp, deleter (if any) not. The MVCC read path (PROTOCOL.md §9):
+    zero lock acquisitions, zero predicate attaches, never blocks on or
+    blocks writers — traversal is optimistic ([olc.read_attempt]) with a
+    {e non-blocking} S-latch fallback ([Latch.try_acquire] in a backoff
+    loop: a snapshot reader never parks on a writer's latch), and page
+    latches are the only synchronization.
+    Repeating the scan under the same [Db.ro] returns the same result
+    regardless of concurrent writers. Counted in [mvcc.snapshot_scan];
+    invisible versions skipped are counted in [mvcc.version_skipped]. *)
+
+val snapshot_visit :
+  'p t ->
+  ts:int ->
+  stack:(Gist_storage.Page_id.t * Gist_wal.Lsn.t) list ref ->
+  query:'p ->
+  Gist_storage.Page_id.t ->
+  Gist_wal.Lsn.t ->
+  ('p * Gist_storage.Rid.t) list
+(** One step of the snapshot traversal: visit node [pid] (optimistically,
+    with S-latch fallback), push its consistent children — or the
+    rightlink of a missed split — onto [stack], and return the visible
+    matching leaf entries. Shared with {!Cursor.open_snapshot}; use
+    {!snapshot_search} unless you are streaming results. *)
+
 val insert : 'p t -> Gist_txn.Txn_manager.txn -> key:'p -> rid:Gist_storage.Rid.t -> unit
 (** X-locks the record, descends by penalty, splits/expands as needed, adds
     the leaf entry, and blocks on conflicting attached predicates.

@@ -17,7 +17,17 @@ let h_decode_ns =
   Metrics.histogram ~unit_:"ns" ~help:"full page-image decode latency on a node-cache miss"
     "bp.node_cache.decode_ns"
 
-type 'p leaf_entry = { le_key : 'p; le_rid : Rid.t; mutable le_deleter : Txn_id.t }
+type 'p leaf_entry = {
+  le_key : 'p;
+  le_rid : Rid.t;
+  le_creator : Txn_id.t;
+      (* the inserting transaction — with [le_deleter] this is the entry's
+         version interval: snapshot reads show the entry iff the creator
+         committed at or before the snapshot timestamp and the deleter did
+         not. [Txn_id.none] means "always visible" (bulk load, pre-MVCC
+         images). *)
+  mutable le_deleter : Txn_id.t;
+}
 
 type 'p internal_entry = { mutable ie_bp : 'p; ie_child : Page_id.t }
 
@@ -67,13 +77,15 @@ let live_leaf_count t =
 let put_leaf_entry ext b e =
   ext.Ext.encode b e.le_key;
   Rid.encode b e.le_rid;
+  Txn_id.encode b e.le_creator;
   Txn_id.encode b e.le_deleter
 
 let get_leaf_entry ext r =
   let le_key = ext.Ext.decode r in
   let le_rid = Rid.decode r in
+  let le_creator = Txn_id.decode r in
   let le_deleter = Txn_id.decode r in
-  { le_key; le_rid; le_deleter }
+  { le_key; le_rid; le_creator; le_deleter }
 
 let put_internal_entry ext b e =
   ext.Ext.encode b e.ie_bp;
@@ -106,7 +118,7 @@ let decode_entry ext s =
 let leaf_entry_size ext key =
   let b = Buffer.create 32 in
   ext.Ext.encode b key;
-  Buffer.length b + 12 (* rid (8) + deleter (4) *)
+  Buffer.length b + 16 (* rid (8) + creator (4) + deleter (4) *)
 
 (* --- page image --- *)
 

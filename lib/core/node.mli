@@ -18,6 +18,12 @@
 type 'p leaf_entry = {
   le_key : 'p;
   le_rid : Gist_storage.Rid.t;
+  le_creator : Gist_util.Txn_id.t;
+      (** The inserting transaction. With [le_deleter] it forms the entry's
+          version interval: a snapshot at commit timestamp [ts] sees the
+          entry iff the creator committed at or before [ts] and the deleter
+          (if any) did not (PROTOCOL.md §9). [Txn_id.none] = visible to
+          every snapshot (bulk-loaded entries). *)
   mutable le_deleter : Gist_util.Txn_id.t;
 }
 

@@ -483,6 +483,13 @@ let restart_multi db packed_exts =
       | Log_record.Begin -> Hashtbl.replace table tid (Log_record.Active, lsn)
       | Log_record.Commit ->
         Hashtbl.replace table tid (Log_record.Committed, lsn);
+        (* Also re-derives MVCC commit timestamps: mark_committed assigns
+           the next timestamp idempotently, and this scan visits Commit
+           records in LSN order, so post-restart snapshot visibility
+           reproduces the pre-crash commit order over the analysis window.
+           Commits older than the window stay absent from the rebuilt
+           table and read as timestamp 0 — visible to every snapshot
+           (PROTOCOL.md §9). *)
         Txn_manager.mark_committed txns tid
       | Log_record.Abort -> Hashtbl.replace table tid (Log_record.Aborting, lsn)
       | Log_record.End -> Hashtbl.remove table tid

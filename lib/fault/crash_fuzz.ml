@@ -89,6 +89,14 @@ let apply_ops (b, r) ops =
       | T_rtree, Del k -> (b, ISet.remove k r))
     (b, r) ops
 
+let pp_set s = ISet.elements s |> List.map string_of_int |> String.concat ","
+
+let rids_of hits = List.map (fun (_, r) -> r.Rid.slot) hits |> ISet.of_list
+
+let all_b = B.range 0 max_int
+
+let all_r = R.rect (-1e9) (-1e9) 1e9 1e9
+
 (* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -98,8 +106,19 @@ let apply_ops (b, r) ops =
    in five aborts), environment operations (flushes, checkpoints, vacuum,
    log truncation) between them, and a trailing loser left in flight.
    Deterministic given the seed and config, so the profiling pass and
-   every crash-point replay see the identical event stream. *)
-let run_workload db bt rt rng shadow =
+   every crash-point replay see the identical event stream (a racing
+   snapshot reader, when enabled, adds nondeterministic events on top —
+   the oracle is interleaving-agnostic, so this only moves where in the
+   stream the planned fault lands).
+
+   After every commit the workload opens a snapshot and scans both trees
+   through the MVCC read path: with a single writer domain the result must
+   equal the committed sets exactly ([snap_bad] receives any mismatch).
+   [pub], when given, atomically publishes [(history, in_doubt)] for a
+   racing reader's prefix oracle — set to [(h, Some ops)] before the
+   commit call and [(h ++ ops, None)] after, so a batch is visible in the
+   publication no later than its commit timestamp is published. *)
+let run_workload ?(snap_bad = fun (_ : string) -> ()) ?pub db bt rt rng shadow =
   let next = ref 0 in
   let fresh_id () =
     incr next;
@@ -167,12 +186,23 @@ let run_workload db bt rt rng shadow =
          outcome — all of [ops] or none — is legal, jointly across both
          trees. *)
       shadow.in_doubt <- Some ops;
+      (match pub with Some p -> Atomic.set p (shadow.history, Some ops) | None -> ());
       Txn.commit db.Db.txns txn;
       let b, r = apply_ops (shadow.cb, shadow.cr) ops in
       shadow.cb <- b;
       shadow.cr <- r;
       shadow.history <- shadow.history @ [ ops ];
-      shadow.in_doubt <- None
+      shadow.in_doubt <- None;
+      (match pub with Some p -> Atomic.set p (shadow.history, None) | None -> ());
+      let ro = Db.begin_ro db in
+      let sb = rids_of (Gist.snapshot_search bt ro all_b)
+      and sr = rids_of (Gist.snapshot_search rt ro all_r) in
+      Db.end_ro db ro;
+      if not (ISet.equal sb shadow.cb && ISet.equal sr shadow.cr) then
+        snap_bad
+          (Printf.sprintf
+             "post-commit snapshot: btree got {%s} want {%s}, rtree got {%s} want {%s}"
+             (pp_set sb) (pp_set shadow.cb) (pp_set sr) (pp_set shadow.cr))
     end
   done;
   (* A loser in flight at the crash point: restart must roll it back. *)
@@ -184,32 +214,60 @@ let run_workload db bt rt rng shadow =
   let i = fresh_id () in
   Gist.insert rt loser ~key:(rect_of i) ~rid:(rid i)
 
+(* A racing snapshot reader: loop begin_ro → scan both trees lock-free →
+   end_ro until stopped, checking each scan against the writer's published
+   commit history. The publication is read {e after} the scan and grows
+   monotonically, so whatever prefix of commit order the snapshot captured
+   is guaranteed to be present in it; acceptance is therefore "the state
+   after some prefix of [history]", with the single in-doubt batch
+   accepted on top of the full history only (it was submitted after every
+   batch in it). A half-visible batch — some of a transaction's ops
+   without the rest — matches no prefix and is flagged. On [Fault.Crash]
+   the reader just exits: the power-off flag is sticky across domains, so
+   the workload domain still observes the planned crash. *)
+let reader_loop db bt rt pub stop =
+  let bad = ref [] in
+  (try
+     while not (Atomic.get stop) do
+       let ro = Db.begin_ro db in
+       let got_b = rids_of (Gist.snapshot_search bt ro all_b)
+       and got_r = rids_of (Gist.snapshot_search rt ro all_r) in
+       Db.end_ro db ro;
+       let history, in_doubt = Atomic.get pub in
+       let matches (b, r) = ISet.equal got_b b && ISet.equal got_r r in
+       let rec prefixes state = function
+         | [] -> (
+           matches state
+           || match in_doubt with Some ops -> matches (apply_ops state ops) | None -> false)
+         | batch :: rest -> matches state || prefixes (apply_ops state batch) rest
+       in
+       if not (prefixes (ISet.empty, ISet.empty) history) then
+         bad :=
+           Printf.sprintf
+             "racing snapshot matches no prefix of the commit history: btree {%s} rtree {%s}"
+             (pp_set got_b) (pp_set got_r)
+           :: !bad
+     done
+   with
+  | Fault.Crash -> ()
+  | e -> bad := Printf.sprintf "racing snapshot reader raised %s" (Printexc.to_string e) :: !bad);
+  !bad
+
 (* ------------------------------------------------------------------ *)
 (* Oracle                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let scan_b db t =
   let txn = Txn.begin_txn db.Db.txns in
-  let got =
-    Gist.search t txn (B.range 0 max_int)
-    |> List.map (fun (_, r) -> r.Rid.slot)
-    |> ISet.of_list
-  in
+  let got = rids_of (Gist.search t txn all_b) in
   Txn.commit db.Db.txns txn;
   got
 
 let scan_r db t =
   let txn = Txn.begin_txn db.Db.txns in
-  let got =
-    Gist.search t txn (R.rect (-1e9) (-1e9) 1e9 1e9)
-    |> List.map (fun (_, r) -> r.Rid.slot)
-    |> ISet.of_list
-  in
+  let got = rids_of (Gist.search t txn all_r) in
   Txn.commit db.Db.txns txn;
   got
-
-let pp_set s =
-  ISet.elements s |> List.map string_of_int |> String.concat ","
 
 (* Run the full post-recovery oracle; returns violation strings. With
    [async] (pipelined durability), a commit that returned may still be
@@ -263,6 +321,19 @@ let oracle ~label ?(async = false) db bt rt shadow =
       (match shadow.in_doubt with Some _ -> " (or +in-doubt)" | None -> "")
       (pp_set got_r) (pp_set r)
   end;
+  (* 2b. MVCC after restart: a snapshot begun now sees exactly what the
+     locked scans just saw. Analysis re-derived commit timestamps by
+     replaying Commit records in LSN order, losers' versions were erased
+     or unmarked by undo, and pre-checkpoint commits read as historical —
+     so committed-version visibility must coincide with the
+     exactly-committed set, never a half-visible version pair. *)
+  let ro = Db.begin_ro db in
+  let snap_b = rids_of (Gist.snapshot_search bt ro all_b)
+  and snap_r = rids_of (Gist.snapshot_search rt ro all_r) in
+  Db.end_ro db ro;
+  if not (ISet.equal snap_b got_b && ISet.equal snap_r got_r) then
+    add "post-restart snapshot scan disagrees with locked scan: btree {%s} vs {%s}, rtree {%s} vs {%s}"
+      (pp_set snap_b) (pp_set got_b) (pp_set snap_r) (pp_set got_r);
   (* 3. Garbage collection after recovery must not change the logical
      contents. *)
   Gist.vacuum bt;
@@ -309,11 +380,13 @@ let recovery_plan i =
 
 type point_result = { crashed : bool; violations : string list }
 
-let run_point ?(commit_mode = Group_commit.Sync) ?(bg_writer = false) ~mode ~seed ~index plan =
+let run_point ?(commit_mode = Group_commit.Sync) ?(bg_writer = false) ?(snapshot_reader = false)
+    ~mode ~seed ~index plan =
   let label =
-    Printf.sprintf "%s/%s%s seed=%d point=%d [%s]" (mode_name mode)
+    Printf.sprintf "%s/%s%s%s seed=%d point=%d [%s]" (mode_name mode)
       (Group_commit.mode_to_string commit_mode)
       (if bg_writer then "+bg" else "")
+      (if snapshot_reader then "+snap" else "")
       seed index
       (String.concat ","
          (List.map (fun { Fault.site; at; _ } -> Printf.sprintf "%s#%d" (Fault.site_name site) at) plan))
@@ -326,11 +399,28 @@ let run_point ?(commit_mode = Group_commit.Sync) ?(bg_writer = false) ~mode ~see
   let broot = Gist.root bt and rroot = Gist.root rt in
   let shadow = { cb = ISet.empty; cr = ISet.empty; history = []; in_doubt = None } in
   let rng = Xoshiro.create seed in
+  let inline_bad = ref [] in
+  let snap_bad s = inline_bad := Printf.sprintf "%s: %s" label s :: !inline_bad in
+  let pub = Atomic.make (([] : (wtree * wop) list list), (None : (wtree * wop) list option)) in
+  let stop = Atomic.make false in
   let ctl = Fault.arm ~disk:db.Db.disk ~log:db.Db.log plan in
+  let reader =
+    if snapshot_reader then Some (Domain.spawn (fun () -> reader_loop db bt rt pub stop))
+    else None
+  in
   let crashed =
-    match run_workload db bt rt rng shadow with
+    match run_workload ~snap_bad ~pub db bt rt rng shadow with
     | () -> false
     | exception Fault.Crash -> true
+  in
+  (* Stop and join the racing reader before volatile state is torn down:
+     after the join no other domain touches the pool or the snapshot
+     registry. *)
+  Atomic.set stop true;
+  let reader_bad =
+    match reader with
+    | None -> []
+    | Some d -> List.map (fun s -> Printf.sprintf "%s: %s" label s) (Domain.join d)
   in
   (* Claim C1 at scale: while the background writer is alive, the
      foreground path never writes back a dirty page. Measured over the
@@ -368,8 +458,8 @@ let run_point ?(commit_mode = Group_commit.Sync) ?(bg_writer = false) ~mode ~see
       | exception e ->
         (db', [ Printf.sprintf "%s: restart raised %s" label (Printexc.to_string e) ]))
   in
-  let bad = ref double_bad in
-  if !bad = [] then begin
+  let bad = ref (double_bad @ List.rev !inline_bad @ reader_bad) in
+  if double_bad = [] then begin
     if had_tail && Log_manager.has_torn_tail db'.Db.log then
       bad := [ Printf.sprintf "%s: restart left the torn log tail in place" label ];
     let bt' = Gist.open_existing db' B.ext ~root:broot () in
@@ -438,14 +528,14 @@ let plan_for ~mode ~counts:(reads, writes, appends, flushes) ~page_size ~index ~
     let keep = 1 + (index * 7 mod 48) in
     Fault.ragged_append_at (spread appends index) ~keep
 
-let run_mode ?commit_mode ?bg_writer ~seed ~points mode =
+let run_mode ?commit_mode ?bg_writer ?snapshot_reader ~seed ~points mode =
   let counts = profile ?commit_mode ?bg_writer ~mode ~seed () in
   let reads, writes, appends, flushes = counts in
   let page_size = (config mode).Db.page_size in
   let crashes = ref 0 and violations = ref [] in
   for i = 0 to points - 1 do
     let plan = plan_for ~mode ~counts ~page_size ~index:i ~points in
-    let r = run_point ?commit_mode ?bg_writer ~mode ~seed ~index:i plan in
+    let r = run_point ?commit_mode ?bg_writer ?snapshot_reader ~mode ~seed ~index:i plan in
     if r.crashed then incr crashes;
     violations := !violations @ r.violations
   done;
@@ -458,16 +548,16 @@ let run_mode ?commit_mode ?bg_writer ~seed ~points mode =
   }
 
 (* 2:1:1:1 split across clean / torn / ragged / double-crash modes. *)
-let run_sweep ?commit_mode ?bg_writer ~seed ~points () =
+let run_sweep ?commit_mode ?bg_writer ?snapshot_reader ~seed ~points () =
   let clean = max 1 (2 * points / 5) in
   let torn = max 1 (points / 5) in
   let ragged = max 1 (points / 5) in
   let double = max 1 (points - clean - torn - ragged) in
   [
-    run_mode ?commit_mode ?bg_writer ~seed ~points:clean Clean;
-    run_mode ?commit_mode ?bg_writer ~seed:(seed + 1) ~points:torn Torn;
-    run_mode ?commit_mode ?bg_writer ~seed:(seed + 2) ~points:ragged Ragged;
-    run_mode ?commit_mode ?bg_writer ~seed:(seed + 3) ~points:double Double;
+    run_mode ?commit_mode ?bg_writer ?snapshot_reader ~seed ~points:clean Clean;
+    run_mode ?commit_mode ?bg_writer ?snapshot_reader ~seed:(seed + 1) ~points:torn Torn;
+    run_mode ?commit_mode ?bg_writer ?snapshot_reader ~seed:(seed + 2) ~points:ragged Ragged;
+    run_mode ?commit_mode ?bg_writer ?snapshot_reader ~seed:(seed + 3) ~points:double Double;
   ]
 
 let pp_summary ppf s =

@@ -20,7 +20,15 @@
       pairs a background checkpointer slips in) and the contents are
       unchanged;
     - [latches_held_across_io] stays 0 through the whole fault run (C1
-      holds even on crash paths).
+      holds even on crash paths);
+    - MVCC snapshots (PROTOCOL.md §9) agree with locking reads: the
+      workload scans both trees through a fresh snapshot after every
+      commit (must equal the committed sets exactly), a snapshot begun
+      after restart must match the post-recovery locked scans (commit
+      timestamps are re-derived by analysis in LSN order), and — with
+      [snapshot_reader] — a racing reader domain checks every concurrent
+      snapshot against the prefix-of-commit-history contract, so no
+      snapshot ever observes a half-visible transaction.
 
     The profiling pass counts the workload's disk-read / disk-write /
     WAL-append events with a never-firing plan; crash points are then
@@ -54,6 +62,7 @@ type summary = {
 val run_mode :
   ?commit_mode:Gist_wal.Group_commit.mode ->
   ?bg_writer:bool ->
+  ?snapshot_reader:bool ->
   seed:int -> points:int -> mode -> summary
 (** Profile the seeded workload, then run [points] crash points spread
     across its event stream (disk reads, disk writes, WAL appends, and —
@@ -72,11 +81,22 @@ val run_mode :
     writer + aggressive 200µs fuzzy checkpoints + range-scan prefetch
     enabled, and adds an oracle check: [bp.fg_writeback] must not grow
     during the workload while the writer is alive (waived when the
-    injected fault killed the writer domain itself). *)
+    injected fault killed the writer domain itself).
+
+    [snapshot_reader] (default false) races a snapshot-reader domain
+    against the workload until the crash: it loops lock-free MVCC scans of
+    both trees and checks each against the writer's published commit
+    history — the result must equal the state after {e some} prefix of
+    commit order (the in-doubt batch accepted on top of the full history
+    only), jointly across both trees. The reader exits on the injected
+    crash (the power-off flag is sticky across domains) and is joined
+    before recovery runs. Its I/O makes the fault-event stream
+    nondeterministic, which only moves where the planned point lands. *)
 
 val run_sweep :
   ?commit_mode:Gist_wal.Group_commit.mode ->
   ?bg_writer:bool ->
+  ?snapshot_reader:bool ->
   seed:int -> points:int -> unit -> summary list
 (** Split [points] across the four modes (2:1:1:1) with distinct seeds. *)
 

@@ -26,6 +26,7 @@ type event =
   | Olc_fallback of { page : int }
   | Bg_flush of { pages : int; scanned : int }
   | Fuzzy_checkpoint of { lsn : int64; dirty : int }
+  | Snapshot_scan of { ts : int }
 
 type entry = { ts : int; domain : int; seq : int; event : event }
 
@@ -135,5 +136,6 @@ let pp_event ppf = function
   | Bg_flush { pages; scanned } -> Format.fprintf ppf "bg.flush pages=%d scanned=%d" pages scanned
   | Fuzzy_checkpoint { lsn; dirty } ->
     Format.fprintf ppf "ckpt.fuzzy lsn=%Ld dirty=%d" lsn dirty
+  | Snapshot_scan { ts } -> Format.fprintf ppf "mvcc.scan ts=%d" ts
 
 let pp_entry ppf e = Format.fprintf ppf "%d d%d %a" e.ts e.domain pp_event e.event

@@ -77,6 +77,9 @@ type event =
   | Fuzzy_checkpoint of { lsn : int64; dirty : int }
       (** The checkpointer took a fuzzy checkpoint anchored at [lsn] with
           [dirty] pages in the logged dirty-page table (no page flushing). *)
+  | Snapshot_scan of { ts : int }
+      (** A read-only snapshot scan started at commit timestamp [ts] —
+          the lock-free MVCC read path (PROTOCOL.md §9). *)
 
 (** One recorded ring entry. *)
 type entry = {

@@ -2,6 +2,11 @@ open Gist_util
 module Metrics = Gist_obs.Metrics
 module Trace = Gist_obs.Trace
 
+let m_acquires =
+  Metrics.counter ~unit_:"ops"
+    ~help:"lock acquisitions granted (including re-entrant bumps and try_lock successes)"
+    "lock.acquire"
+
 let m_waits = Metrics.counter ~unit_:"ops" ~help:"lock requests that had to block" "lock.wait"
 
 let m_deadlocks =
@@ -213,7 +218,8 @@ let lock t txn name mode =
   match find_holder head txn with
   | Some h when (match (mode, h.h_mode) with X, S -> false | _ -> true) ->
     h.count <- h.count + 1;
-    Mutex.unlock s.m
+    Mutex.unlock s.m;
+    Metrics.incr m_acquires
   | existing -> (
     let upgrade = Option.is_some existing in
     let immediately_grantable =
@@ -233,7 +239,8 @@ let lock t txn name mode =
          head.holders <- { h_txn = txn; h_mode = mode; count = 1 } :: head.holders;
          note_held s txn name
        end);
-      Mutex.unlock s.m
+      Mutex.unlock s.m;
+      Metrics.incr m_acquires
     end
     else begin
       Atomic.incr t.blocked;
@@ -266,7 +273,8 @@ let lock t txn name mode =
         end
         else begin
           (* Raced a grant: keep the lock, no deadlock after all. *)
-          Mutex.unlock s.m
+          Mutex.unlock s.m;
+          Metrics.incr m_acquires
         end
       end
       else begin
@@ -277,6 +285,7 @@ let lock t txn name mode =
           Condition.wait s.c s.m
         done;
         Mutex.unlock s.m;
+        Metrics.incr m_acquires;
         Metrics.record h_wait_ns (Float.of_int (Clock.now_ns () - wait_t0));
         Mutex.lock t.w;
         (* Only clear our own registration (we may have re-registered). *)
@@ -311,6 +320,7 @@ let try_lock t txn name mode =
       else false
   in
   Mutex.unlock s.m;
+  if ok then Metrics.incr m_acquires;
   ok
 
 (* Call with the shard mutex held. *)

@@ -34,6 +34,10 @@ type txn = {
   mutable savepoints : (string * Lsn.t) list;
 }
 
+type snapshot = { snap_id : int; snap_ts : int }
+
+let snapshot_ts s = s.snap_ts
+
 (* The live and committed tables are sharded by transaction id, the same
    way the lock manager and buffer pool shard their tables — a global
    transaction-table mutex would otherwise sit on every begin/commit. *)
@@ -45,8 +49,22 @@ type t = {
   log : Log_manager.t;
   lock_mgr : Lock_manager.t;
   table : txn shard array;
-  committed : unit shard array;
+  committed : int shard array;
+      (* tid -> commit timestamp. Only grows during a run; restart builds a
+         fresh one in log order, and tids older than the analysis window are
+         simply absent — absent-from-both-tables reads as "committed at
+         timestamp 0" (visible to every snapshot). *)
   next_id : int Atomic.t;
+  next_cts : int Atomic.t;  (* next commit timestamp to reserve *)
+  published_cts : int Atomic.t;
+      (* highest commit timestamp whose tid->cts mapping is guaranteed
+         visible in [committed]. Committers advance it strictly in
+         timestamp order (reserve, insert, then spin until cts-1 is
+         published), so a snapshot taken at [published_cts] can resolve
+         every commit at or below its timestamp — no torn snapshots. *)
+  snap_mutex : Mutex.t;
+  snaps : (int, int) Hashtbl.t;  (* snapshot id -> snapshot timestamp *)
+  mutable next_snap_id : int;
   mutable undo_handler : (txn -> Log_record.t -> unit) option;
   mutable end_hooks : (Txn_id.t -> unit) list;
   mutable commit_mode : Group_commit.mode;
@@ -65,6 +83,11 @@ let create ~log ~locks =
     table = mk_shards ();
     committed = mk_shards ();
     next_id = Atomic.make 1;
+    next_cts = Atomic.make 1;
+    published_cts = Atomic.make 0;
+    snap_mutex = Mutex.create ();
+    snaps = Hashtbl.create 8;
+    next_snap_id = 1;
     undo_handler = None;
     end_hooks = [];
     commit_mode = Group_commit.Sync;
@@ -157,6 +180,25 @@ let forced_durability t lsn =
   | Some g -> Group_commit.submit ~wait:true g lsn
   | None -> Log_manager.force t.log lsn
 
+(* Assign [tid] the next commit timestamp and publish it in timestamp
+   order: reserve, insert the mapping, then advance [published_cts] once
+   every earlier timestamp is published. The in-order advance is what makes
+   a snapshot at [published_cts] closed under commit order — it can never
+   observe timestamp n+1's effects while n's mapping is still in flight.
+   Idempotent: restart analysis may mark the same commit twice. *)
+let assign_cts t tid =
+  let sh = shard t.committed tid in
+  Mutex.lock sh.sm;
+  if Hashtbl.mem sh.stbl tid then Mutex.unlock sh.sm
+  else begin
+    let cts = Atomic.fetch_and_add t.next_cts 1 in
+    Hashtbl.replace sh.stbl tid cts;
+    Mutex.unlock sh.sm;
+    while not (Atomic.compare_and_set t.published_cts (cts - 1) cts) do
+      Domain.cpu_relax ()
+    done
+  end
+
 let commit ?(durability = `Mode) t txn =
   Metrics.incr m_commits;
   Metrics.time_ns h_commit_latency (fun () ->
@@ -165,10 +207,7 @@ let commit ?(durability = `Mode) t txn =
       | `Mode -> commit_durability t commit_rec
       | `Force -> forced_durability t commit_rec);
       txn.status <- Log_record.Committed;
-      let sh = shard t.committed txn.tid in
-      Mutex.lock sh.sm;
-      Hashtbl.replace sh.stbl txn.tid ();
-      Mutex.unlock sh.sm;
+      assign_cts t txn.tid;
       run_end_hooks t txn.tid;
       ignore (log_update t txn Log_record.End);
       drop t txn;
@@ -248,6 +287,72 @@ let is_active t tid =
   Mutex.unlock sh.sm;
   r
 
+let commit_ts_of t tid =
+  let sh = shard t.committed tid in
+  Mutex.lock sh.sm;
+  let r = Hashtbl.find_opt sh.stbl tid in
+  Mutex.unlock sh.sm;
+  r
+
+let published_cts t = Atomic.get t.published_cts
+
+(* Snapshot-visibility core: did [tid] commit with a timestamp at or below
+   [ts]? The committed table is consulted first — a committing transaction
+   inserts its mapping before [drop] removes it from the live table, so
+   checking in this order never sees a committed transaction as merely
+   live. A tid in neither table is a commit from before the current
+   analysis window (restart rebuilt the tables and its Commit record
+   predates the scan): timestamp 0, visible to every snapshot. *)
+let committed_as_of t ~ts tid =
+  (not (Txn_id.is_some tid))
+  ||
+  match commit_ts_of t tid with
+  | Some cts -> cts <= ts
+  | None -> not (is_active t tid)
+
+let begin_snapshot t =
+  Mutex.lock t.snap_mutex;
+  let snap_ts = Atomic.get t.published_cts in
+  let snap_id = t.next_snap_id in
+  t.next_snap_id <- snap_id + 1;
+  Hashtbl.replace t.snaps snap_id snap_ts;
+  Mutex.unlock t.snap_mutex;
+  { snap_id; snap_ts }
+
+let end_snapshot t snap =
+  Mutex.lock t.snap_mutex;
+  Hashtbl.remove t.snaps snap.snap_id;
+  Mutex.unlock t.snap_mutex
+
+let active_snapshots t =
+  Mutex.lock t.snap_mutex;
+  let n = Hashtbl.length t.snaps in
+  Mutex.unlock t.snap_mutex;
+  n
+
+(* The oldest-active-snapshot watermark: version GC may reclaim an entry
+   whose deleter committed at or below this. [max_int] when no snapshot is
+   active (GC degenerates to the pre-MVCC rule). Registration and watermark
+   reads serialize on [snap_mutex], so a snapshot can never slip under a
+   watermark computed after its registration. *)
+let oldest_snapshot_ts t =
+  Mutex.lock t.snap_mutex;
+  let r = Hashtbl.fold (fun _ ts acc -> min ts acc) t.snaps max_int in
+  Mutex.unlock t.snap_mutex;
+  r
+
+let min_active_snap_id t =
+  Mutex.lock t.snap_mutex;
+  let r = Hashtbl.fold (fun id _ acc -> min id acc) t.snaps max_int in
+  Mutex.unlock t.snap_mutex;
+  r
+
+let snapshot_barrier t =
+  Mutex.lock t.snap_mutex;
+  let r = t.next_snap_id in
+  Mutex.unlock t.snap_mutex;
+  r
+
 let active_txns t =
   Array.fold_left
     (fun acc sh ->
@@ -288,11 +393,10 @@ let restore_txn t tid ~status ~last_lsn =
   bump ();
   txn
 
-let mark_committed t tid =
-  let sh = shard t.committed tid in
-  Mutex.lock sh.sm;
-  Hashtbl.replace sh.stbl tid ();
-  Mutex.unlock sh.sm
+(* Restart analysis replays Commit records in LSN order, so timestamps
+   assigned here reproduce the pre-crash commit order over the analysis
+   window — exactly what post-restart snapshots need. *)
+let mark_committed t tid = assign_cts t tid
 
 let forget_txn t tid =
   let sh = shard t.table tid in

@@ -24,6 +24,11 @@ type t
 
 type txn
 
+type snapshot
+(** A registered read-only snapshot: a commit-timestamp horizon plus a
+    registry entry that holds back version GC (the oldest-active-snapshot
+    watermark) until [end_snapshot]. *)
+
 val create : log:Gist_wal.Log_manager.t -> locks:Lock_manager.t -> t
 
 val set_undo_handler : t -> (txn -> Gist_wal.Log_record.t -> unit) -> unit
@@ -90,6 +95,49 @@ val rollback_to_savepoint : t -> txn -> string -> unit
 
 val is_committed : t -> Gist_util.Txn_id.t -> bool
 val is_active : t -> Gist_util.Txn_id.t -> bool
+
+val commit_ts_of : t -> Gist_util.Txn_id.t -> int option
+(** The commit timestamp assigned to [tid], if it committed within the
+    current table's window (since the last restart's analysis anchor). *)
+
+val published_cts : t -> int
+(** The highest commit timestamp whose tid->timestamp mapping is visible.
+    Advanced strictly in timestamp order by committers, so every commit at
+    or below it can be resolved by [commit_ts_of]. *)
+
+val committed_as_of : t -> ts:int -> Gist_util.Txn_id.t -> bool
+(** Whether [tid]'s effects are visible to a snapshot taken at commit
+    timestamp [ts]: it committed with a timestamp [<= ts], or it is absent
+    from both transaction tables (a commit from before the analysis
+    window — timestamp 0). [Txn_id.none] is visible to every snapshot
+    (bulk-loaded entries). *)
+
+val begin_snapshot : t -> snapshot
+(** Capture the current published commit timestamp and register it so the
+    GC watermark ([oldest_snapshot_ts]) cannot advance past it. *)
+
+val end_snapshot : t -> snapshot -> unit
+(** Deregister; idempotent. *)
+
+val snapshot_ts : snapshot -> int
+
+val active_snapshots : t -> int
+(** Number of registered snapshots. *)
+
+val oldest_snapshot_ts : t -> int
+(** The oldest-active-snapshot watermark: version GC may reclaim an entry
+    only if its deleter committed at or below this. [max_int] when no
+    snapshot is registered. *)
+
+val min_active_snap_id : t -> int
+(** Smallest registration id still active ([max_int] when none) — paired
+    with [snapshot_barrier] to decide when a retired page's deferred free
+    is safe (every snapshot that could hold a pointer into it has ended). *)
+
+val snapshot_barrier : t -> int
+(** The registration id the next [begin_snapshot] will receive. Snapshots
+    with ids at or above a barrier taken now began after the present
+    instant. *)
 
 val active_txns : t -> (Gist_util.Txn_id.t * Gist_wal.Log_record.status * Gist_wal.Lsn.t) list
 (** Snapshot for checkpointing. *)

@@ -30,4 +30,5 @@ let () =
       ("olc", Test_olc.suite);
       ("group_commit", Test_group_commit.suite);
       ("eviction", Test_eviction.suite);
+      ("mvcc", Test_mvcc.suite);
     ]

@@ -10,8 +10,13 @@ module Disk = Gist_storage.Disk
 
 let ext = B.ext
 
-let le k ?(deleter = Txn_id.none) rid_slot =
-  { Node.le_key = B.key k; le_rid = Rid.make ~page:9 ~slot:rid_slot; le_deleter = deleter }
+let le k ?(creator = Txn_id.none) ?(deleter = Txn_id.none) rid_slot =
+  {
+    Node.le_key = B.key k;
+    le_rid = Rid.make ~page:9 ~slot:rid_slot;
+    le_creator = creator;
+    le_deleter = deleter;
+  }
 
 let with_frame f =
   let disk = Disk.create ~page_size:1024 () in

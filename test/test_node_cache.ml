@@ -133,7 +133,12 @@ let test_restart_invalidates () =
         match node.Node.entries with
         | Node.Leaf _ ->
           Node.add_leaf_entry node
-            { Node.le_key = B.key 99_999; le_rid = rid 99_999; le_deleter = Gist_util.Txn_id.none };
+            {
+              Node.le_key = B.key 99_999;
+              le_rid = rid 99_999;
+              le_creator = Gist_util.Txn_id.none;
+              le_deleter = Gist_util.Txn_id.none;
+            };
           incr poisoned;
           []
         | Node.Internal d -> Dyn.fold (fun l e -> e.Node.ie_child :: l) [] d)
