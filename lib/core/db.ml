@@ -132,6 +132,13 @@ let allocator_snapshot t =
   let b = Buffer.create 64 in
   Codec.put_i32 b t.alloc_next;
   Codec.put_list Codec.put_i32 b t.alloc_free;
+  (* Snapshot-parked pages ride along: their Free_page records may predate
+     the redo anchor this snapshot ends up in, and the in-memory park list
+     dies with a crash — without this, a page parked across a checkpoint
+     would never return to the allocator after restart (a permanent space
+     leak). Restore hands them straight back to the free list: no snapshot
+     survives a restart, so the park barrier is trivially cleared. *)
+  Codec.put_list Codec.put_i32 b (List.map (fun (p, _, _) -> p) t.deferred_free);
   Mutex.unlock t.alloc_mutex;
   Buffer.contents b
 
@@ -139,9 +146,13 @@ let allocator_restore t s =
   let r = Codec.reader (Bytes.unsafe_of_string s) in
   let next = Codec.get_i32 r in
   let free = Codec.get_list Codec.get_i32 r in
+  let parked = Codec.get_list Codec.get_i32 r in
   Mutex.lock t.alloc_mutex;
   t.alloc_next <- next;
   t.alloc_free <- free;
+  List.iter
+    (fun p -> if not (List.mem p t.alloc_free) then t.alloc_free <- p :: t.alloc_free)
+    parked;
   Mutex.unlock t.alloc_mutex
 
 (* --- read-only snapshots and deferred page reclamation --- *)
@@ -206,6 +217,12 @@ let end_ro t ro =
 (* --- checkpointing --- *)
 
 let checkpoint t =
+  (* Drain cleared deferred frees first so the allocator snapshot below
+     already reflects their release — otherwise a page reaped between the
+     snapshot capture and the next checkpoint leaks if we crash while its
+     Free_page record sits behind the redo anchor. Pages whose barrier has
+     not cleared stay parked and are carried by the snapshot itself. *)
+  ignore (reap_free t);
   let none = Txn_id.none in
   let begin_lsn = Log_manager.append t.log ~txn:none ~prev:Lsn.nil Log_record.Checkpoint_begin in
   (* Capture order matters: txn table FIRST, DPT second. A transaction's

@@ -201,7 +201,16 @@ val mark_available : t -> Gist_storage.Page_id.t -> unit
 (** Redo of Free-Page. *)
 
 val allocator_snapshot : t -> string
+(** Serialized allocator state for [Checkpoint_end]: frontier, free list,
+    and the still-parked [deferred_free] page ids — the parked list dies
+    with a crash and its Free-Page records may predate the redo anchor,
+    so the snapshot is the only durable record of those pages. *)
+
 val allocator_restore : t -> string -> unit
+(** Inverse of [allocator_snapshot]; parked pages go straight back to the
+    free list (no snapshot survives a restart, so their barriers are
+    trivially cleared). Idempotent against the analysis pass replaying
+    Get/Free-Page records on top. *)
 
 (** {1 Read-only snapshot transactions (PROTOCOL.md §9)}
 
@@ -235,7 +244,9 @@ val defer_free : t -> Gist_storage.Page_id.t -> lsn:Gist_wal.Lsn.t -> unit
 
 val reap_free : t -> int
 (** Scrub + release every parked page whose snapshot barrier has cleared;
-    returns how many. Also called from [end_ro] and the vacuum path. *)
+    returns how many. Also called from [end_ro], the vacuum path, and
+    [checkpoint] (before the allocator capture, so the releases are
+    reflected in the snapshot). *)
 
 val deferred_free_count : t -> int
 

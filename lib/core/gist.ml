@@ -1187,22 +1187,29 @@ let gc_leaf t frame node =
        is inserted but not yet published cannot be reclaimed out from
        under a snapshot beginning at this very instant. [max_int]-free
        when no snapshot is registered apart from the publish cap, i.e.
-       the pre-MVCC rule. *)
-    let reclaim_ts =
-      min (Txn_manager.oldest_snapshot_ts txns) (Txn_manager.published_cts txns)
-    in
+       the pre-MVCC rule.
+
+       Read order matters and OCaml does not fix argument evaluation
+       order, so the publish cap is bound explicitly FIRST: a snapshot
+       registering after that read has snap_ts >= published and is capped
+       by the min either way. Read the watermark first instead and a
+       snapshot registering between the two reads could have versions
+       with cts in (snap_ts, published] reclaimed under it. *)
+    let published = Txn_manager.published_cts txns in
+    let reclaim_ts = min (Txn_manager.oldest_snapshot_ts txns) published in
     let victims = ref [] in
     Dyn.iter
       (fun e ->
         if
           Txn_id.is_some e.Node.le_deleter
           && (fast || Txn_manager.is_committed txns e.Node.le_deleter)
-          && (match Txn_manager.commit_ts_of txns e.Node.le_deleter with
-             | Some cts -> cts <= reclaim_ts
-             | None ->
-               (* Historical delete (before the analysis window):
-                  timestamp 0, older than any snapshot. *)
-               not (Txn_manager.is_active txns e.Node.le_deleter))
+          (* [committed_as_of] (not an inline table probe): its None
+             branch re-checks the commit table after [is_active], closing
+             the race where the deleter commits — with cts > reclaim_ts —
+             and drops from the live table between two lookups, which a
+             single-look fallback would misread as a historical delete
+             and reclaim under a live snapshot. *)
+          && Txn_manager.committed_as_of txns ~ts:reclaim_ts e.Node.le_deleter
         then victims := e.Node.le_rid :: !victims)
       (Node.leaf_entries node);
     match !victims with

@@ -44,9 +44,28 @@ type 'p t = {
 
 let body_offset = 8 (* bytes 0..7 hold the page LSN *)
 
-let kind_leaf = 1
+(* On-page format versioning. The kind byte doubles as the format tag:
+   high nibble = layout version, low nibble = node kind. Layout v2
+   inserted the 4-byte [le_creator] between the rid and the deleter in
+   every leaf entry; v1 images (bare kind bytes 1/2, pre-MVCC) must be
+   refused outright — decoding them with the v2 codec would silently
+   parse deleter bytes as the creator and trailing bytes as the
+   deleter. *)
+let format_version = 2
 
-let kind_internal = 2
+let kind_leaf = (format_version lsl 4) lor 1
+
+let kind_internal = (format_version lsl 4) lor 2
+
+let is_v1_kind k = k = 1 || k = 2
+
+let refuse_v1 what =
+  raise
+    (Codec.Corrupt
+       (Printf.sprintf
+          "%s uses on-page format v1 (pre-MVCC leaf layout, no creator timestamp); this build \
+           reads format v%d only — rebuild the database"
+          what format_version))
 
 let make_leaf ~id ~bp =
   { id; nsn = Lsn.nil; rightlink = Page_id.invalid; level = 0; bp; entries = Leaf (Dyn.create ()) }
@@ -110,10 +129,11 @@ let encode_internal_entry ext e =
 
 let decode_entry ext s =
   let r = Codec.reader (Bytes.unsafe_of_string s) in
-  match Codec.get_u8 r with
-  | 1 -> `Leaf (get_leaf_entry ext r)
-  | 2 -> `Internal (get_internal_entry ext r)
-  | n -> raise (Codec.Corrupt (Printf.sprintf "bad entry kind %d" n))
+  let k = Codec.get_u8 r in
+  if k = kind_leaf then `Leaf (get_leaf_entry ext r)
+  else if k = kind_internal then `Internal (get_internal_entry ext r)
+  else if is_v1_kind k then refuse_v1 "log-record entry"
+  else raise (Codec.Corrupt (Printf.sprintf "bad entry kind %d" k))
 
 let leaf_entry_size ext key =
   let b = Buffer.create 32 in
@@ -153,6 +173,8 @@ let read ext frame =
   let img = Buffer_pool.data frame in
   let r = Codec.reader ~pos:body_offset img in
   let kind = Codec.get_u8 r in
+  if is_v1_kind kind then
+    refuse_v1 (Printf.sprintf "page %d" (Page_id.to_int (Buffer_pool.page_id frame)));
   if kind <> kind_leaf && kind <> kind_internal then
     raise
       (Codec.Corrupt

@@ -302,13 +302,25 @@ let published_cts t = Atomic.get t.published_cts
    checking in this order never sees a committed transaction as merely
    live. A tid in neither table is a commit from before the current
    analysis window (restart rebuilt the tables and its Commit record
-   predates the scan): timestamp 0, visible to every snapshot. *)
+   predates the scan): timestamp 0, visible to every snapshot.
+
+   The None branch must not trust a single [is_active] look: between the
+   first [commit_ts_of] and the [is_active] check the transaction can
+   commit (insert its mapping, log End — a WAL append, so the window is
+   wide) and drop from the live table, which would read as
+   absent-from-both = historical and make a post-snapshot commit visible.
+   The committed table only grows during a run, so re-checking it after
+   [is_active] returns false is authoritative: [Some cts] now is an
+   in-window commit to compare against [ts]; still [None] means the tid
+   really predates the analysis window. *)
 let committed_as_of t ~ts tid =
   (not (Txn_id.is_some tid))
   ||
   match commit_ts_of t tid with
   | Some cts -> cts <= ts
-  | None -> not (is_active t tid)
+  | None ->
+    (not (is_active t tid))
+    && (match commit_ts_of t tid with Some cts -> cts <= ts | None -> true)
 
 let begin_snapshot t =
   Mutex.lock t.snap_mutex;
